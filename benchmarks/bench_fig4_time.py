@@ -1,0 +1,60 @@
+"""Figure 4c: execution time of the three complementation settings.
+
+Paper's expected shape: NCSB-Lazy is faster than NCSB-Original in most
+cases; subsumption often *costs* time (antichain maintenance overhead)
+even though it saves states.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.automata.complement.ncsb import NCSBLazy, NCSBOriginal, subsumes_b
+from repro.automata.difference import SubsumptionOracle
+from repro.automata.emptiness import remove_useless
+
+
+def _run(sdba, setting: str) -> float:
+    start = time.perf_counter()
+    if setting == "original":
+        remove_useless(NCSBOriginal(sdba))
+    elif setting == "lazy":
+        remove_useless(NCSBLazy(sdba))
+    else:
+        remove_useless(NCSBLazy(sdba), oracle=SubsumptionOracle(subsumes_b))
+    return time.perf_counter() - start
+
+
+def sweep(corpus, setting: str) -> list[float]:
+    return [_run(sdba, setting) for sdba in corpus]
+
+
+def test_fig4c_ncsb_original(benchmark, corpus):
+    benchmark.pedantic(sweep, args=(corpus, "original"), rounds=1, iterations=1)
+
+
+def test_fig4c_ncsb_lazy(benchmark, corpus):
+    benchmark.pedantic(sweep, args=(corpus, "lazy"), rounds=1, iterations=1)
+
+
+def test_fig4c_ncsb_lazy_subsumption(benchmark, corpus):
+    benchmark.pedantic(sweep, args=(corpus, "lazy+sub"), rounds=1, iterations=1)
+
+
+def test_fig4c_report(corpus):
+    originals = sweep(corpus, "original")
+    lazies = sweep(corpus, "lazy")
+    subs = sweep(corpus, "lazy+sub")
+    avg = lambda xs: sum(xs) / len(xs)
+    lazy_faster = sum(l <= o for o, l in zip(originals, lazies))
+    sub_slower = sum(s > l for l, s in zip(lazies, subs))
+    print("\n=== Figure 4c: complementation time [s] ===")
+    print(f"  total NCSB-Original:         {sum(originals):8.3f}s "
+          f"(avg {avg(originals)*1000:7.2f}ms)")
+    print(f"  total NCSB-Lazy:             {sum(lazies):8.3f}s "
+          f"(avg {avg(lazies)*1000:7.2f}ms)")
+    print(f"  total NCSB-Lazy+Subsumption: {sum(subs):8.3f}s "
+          f"(avg {avg(subs)*1000:7.2f}ms)")
+    print(f"  Lazy at-least-as-fast as Original: {lazy_faster}/{len(corpus)}")
+    print(f"  Subsumption slower than plain Lazy: {sub_slower}/{len(corpus)} "
+          f"(the paper reports noticeable antichain overhead)")

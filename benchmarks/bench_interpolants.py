@@ -1,0 +1,70 @@
+"""Ablation: interpolant-based infeasibility modules vs stage-1 prefixes.
+
+An infeasible counterexample can be generalized two ways:
+
+- the paper's stage-1 ``M_fin`` (``prefix . Sigma^w``, O(1) complement),
+- an interpolant-predicate semideterministic module (this library's
+  ``interpolant_modules`` option, mirroring Ultimate's interpolant
+  automata): usually a far bigger language, at NCSB cost.
+
+The strategies have complementary strengths, which is why the public
+API also exposes ``prove_termination_portfolio``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import TIMEOUT
+
+from repro.benchgen import program_suite
+from repro.core.api import (prove_termination, prove_termination_portfolio)
+from repro.core.config import AnalysisConfig
+
+
+def run_setting(suite, *, interpolants: bool):
+    config = AnalysisConfig(timeout=TIMEOUT, interpolant_modules=interpolants)
+    times, solved = {}, 0
+    for bench in suite:
+        start = time.perf_counter()
+        result = prove_termination(bench.parse(), config)
+        times[bench.name] = (time.perf_counter() - start, result.verdict.value)
+        solved += result.verdict.value == bench.expected
+    return times, solved
+
+
+def run_portfolio(suite):
+    solved = 0
+    for bench in suite:
+        result = prove_termination_portfolio(bench.parse(),
+                                             timeout=2 * TIMEOUT)
+        solved += result.verdict.value == bench.expected
+    return solved
+
+
+def test_interpolants_report(suite):
+    plain_times, plain_solved = run_setting(suite, interpolants=False)
+    interp_times, interp_solved = run_setting(suite, interpolants=True)
+    print(f"\n=== ablation: infeasibility generalization "
+          f"(budget {TIMEOUT:.0f}s/program) ===")
+    print(f"{'program':24s} {'prefix[s]':>10} {'interp[s]':>10}  divergence")
+    for bench in suite:
+        p_time, p_verdict = plain_times[bench.name]
+        i_time, i_verdict = interp_times[bench.name]
+        note = "" if p_verdict == i_verdict else f"{p_verdict} vs {i_verdict}"
+        print(f"{bench.name:24s} {p_time:>10.2f} {i_time:>10.2f}  {note}")
+    print(f"\nsolved: prefix-only {plain_solved}/{len(suite)}, "
+          f"interpolants {interp_solved}/{len(suite)}")
+
+
+def test_portfolio_report(suite):
+    solved = run_portfolio(suite)
+    print(f"\nportfolio (default + interpolants): solved {solved}/{len(suite)}")
+    _, plain_solved = run_setting(suite, interpolants=False)
+    assert solved >= plain_solved, \
+        "the portfolio must dominate its first member"
+
+
+def test_interpolants_benchmark(benchmark, suite):
+    benchmark.pedantic(run_setting, args=(suite,),
+                       kwargs={"interpolants": True}, rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""Scaling curves: analysis cost vs program-family size.
+
+Not a paper figure -- a DESIGN.md ablation showing how the analysis
+scales along the axes the optimizations act on (alphabet size, module
+count, difference size), and that the multi-stage default degrades
+gracefully where the single-stage baseline falls off a cliff.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import TIMEOUT
+
+from repro.benchgen.scaled import (interleaved_counters, nested_loops,
+                                   phase_chain, sequential_loops)
+from repro.core.api import prove_termination
+from repro.core.config import AnalysisConfig
+
+FAMILIES = {
+    "interleaved": interleaved_counters,
+    "sequential": sequential_loops,
+    "nested": nested_loops,
+    "phases": phase_chain,
+}
+
+
+def run_family(family_name: str, max_k: int = 4):
+    generator = FAMILIES[family_name]
+    rows = []
+    config = AnalysisConfig(timeout=TIMEOUT)
+    for k in range(1, max_k + 1):
+        bench = generator(k)
+        start = time.perf_counter()
+        result = prove_termination(bench.parse(), config)
+        rows.append((k, time.perf_counter() - start, result.verdict.value,
+                     result.stats.iterations, result.stats.peak_difference_states))
+    return rows
+
+
+def test_scaling_report():
+    print(f"\n=== scaling curves (budget {TIMEOUT:.0f}s/program) ===")
+    for family in FAMILIES:
+        print(f"  family {family}:")
+        for k, seconds, verdict, rounds, peak in run_family(family):
+            print(f"    k={k}: {seconds:6.2f}s {verdict:12s} "
+                  f"rounds={rounds:3d} peak-diff={peak}")
+
+
+def test_scaling_interleaved_benchmark(benchmark):
+    benchmark.pedantic(run_family, args=("interleaved",), rounds=1, iterations=1)
+
+
+def test_scaling_sequential_benchmark(benchmark):
+    benchmark.pedantic(run_family, args=("sequential",), rounds=1, iterations=1)
+
+
+def test_scaling_nested_benchmark(benchmark):
+    benchmark.pedantic(run_family, args=("nested", 3), rounds=1, iterations=1)
+
+
+def test_scaling_phases_benchmark(benchmark):
+    benchmark.pedantic(run_family, args=("phases",), rounds=1, iterations=1)

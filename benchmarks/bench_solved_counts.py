@@ -1,0 +1,47 @@
+"""The Section 7 solved/unsolved table across all five settings.
+
+Paper's numbers (unsolved out of 1375):
+
+    single-stage                       691
+    multi-stage without optimizations  296
+    multi-stage with subsumption       253
+    multi-stage with NCSB-Lazy         250
+    multi-stage with lazy+subsumption  249
+
+Expected shape here: single-stage leaves by far the most unsolved; each
+optimization keeps or reduces the count; the all-on setting is best (or
+tied).
+"""
+
+from __future__ import annotations
+
+from conftest import CONFIGS, TIMEOUT, run_suite
+
+
+def test_solved_counts_table(suite):
+    rows = []
+    for name in ("single-stage", "multi-stage", "multi+subsumption",
+                 "multi+lazy", "multi+lazy+subsumption"):
+        _, solved, unsolved = run_suite(suite, CONFIGS[name]())
+        rows.append((name, solved, unsolved))
+
+    print(f"\n=== solved / unsolved per setting "
+          f"(budget {TIMEOUT:.0f}s/program; paper's unsolved: "
+          f"691/296/253/250/249 of 1375) ===")
+    for name, solved, unsolved in rows:
+        print(f"  {name:24s} solved {solved:3d}  unsolved {unsolved:3d}")
+
+    by_name = {name: unsolved for name, _, unsolved in rows}
+    assert by_name["single-stage"] >= by_name["multi-stage"], \
+        "multi-stage must not be worse than single-stage"
+    assert by_name["multi+lazy+subsumption"] <= by_name["single-stage"]
+
+
+def test_solved_counts_benchmark(benchmark, suite):
+    """Wall-clock of the full five-setting sweep (for pytest-benchmark)."""
+
+    def sweep():
+        return [run_suite(suite, CONFIGS[name]())[1:]
+                for name in CONFIGS]
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)

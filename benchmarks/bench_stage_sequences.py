@@ -1,0 +1,53 @@
+"""Section 7's stage-sequence comparison: sequences (i), (ii), (iii).
+
+Paper: all three sequences solved roughly the same number of programs
+(within +-2 of each other on 1375); sequence (i) produces the most
+SDBAs, which is why it was chosen as the default.
+
+Expected shape here: solved counts within a small band; (i) produces at
+least as many SDBA complementations as the others.
+"""
+
+from __future__ import annotations
+
+from conftest import TIMEOUT
+
+from repro.core.api import prove_termination
+from repro.core.config import AnalysisConfig
+from repro.core.stats import StatsCollector
+
+
+def run_sequence(suite, sequence_name: str):
+    config = AnalysisConfig.multi_stage(sequence_name, timeout=TIMEOUT)
+    solved = 0
+    sdbas = 0
+    for bench in suite:
+        collector = StatsCollector(capture_sdbas=True)
+        result = prove_termination(bench.parse(), config, collector)
+        solved += result.verdict.value == bench.expected
+        sdbas += len(collector.sdbas)
+    return solved, sdbas
+
+
+def test_stage_sequences_report(suite):
+    rows = {name: run_sequence(suite, name) for name in ("i", "ii", "iii")}
+    print(f"\n=== stage sequences (budget {TIMEOUT:.0f}s/program; "
+          f"paper: +-2 solved of each other, (i) makes most SDBAs) ===")
+    for name, (solved, sdbas) in rows.items():
+        print(f"  sequence ({name:>3s}): solved {solved:3d}/{len(suite)}, "
+              f"SDBAs complemented {sdbas:4d}")
+    counts = [solved for solved, _ in rows.values()]
+    assert max(counts) - min(counts) <= max(3, len(suite) // 8), \
+        "sequences should solve roughly the same number of programs"
+
+
+def test_stage_sequence_i_benchmark(benchmark, suite):
+    benchmark.pedantic(run_sequence, args=(suite, "i"), rounds=1, iterations=1)
+
+
+def test_stage_sequence_ii_benchmark(benchmark, suite):
+    benchmark.pedantic(run_sequence, args=(suite, "ii"), rounds=1, iterations=1)
+
+
+def test_stage_sequence_iii_benchmark(benchmark, suite):
+    benchmark.pedantic(run_sequence, args=(suite, "iii"), rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+All experiment scales are configurable through environment variables so
+the harness runs in minutes on a laptop while keeping the paper's
+*shapes* (see EXPERIMENTS.md):
+
+- ``REPRO_BENCH_TIMEOUT``   per-program analysis budget in seconds (default 5)
+- ``REPRO_BENCH_RANDOM``    number of random SDBAs in the Fig. 4 corpus (default 30)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchgen import program_suite, sdba_corpus
+from repro.core.config import AnalysisConfig
+
+TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "5"))
+N_RANDOM = int(os.environ.get("REPRO_BENCH_RANDOM", "30"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The program suite (the SV-Comp stand-in)."""
+    return program_suite()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The Figure 4 SDBA corpus: harvested from analysis runs + random."""
+    return sdba_corpus(n_random=N_RANDOM)
+
+
+def analysis_config(**kwargs) -> AnalysisConfig:
+    kwargs.setdefault("timeout", TIMEOUT)
+    return AnalysisConfig(**kwargs)
+
+
+CONFIGS = {
+    "single-stage": lambda: AnalysisConfig.single_stage(timeout=TIMEOUT),
+    "multi-stage": lambda: analysis_config(lazy_complement=False,
+                                           subsumption=False),
+    "multi+subsumption": lambda: analysis_config(lazy_complement=False,
+                                                 subsumption=True),
+    "multi+lazy": lambda: analysis_config(lazy_complement=True,
+                                          subsumption=False),
+    "multi+lazy+subsumption": lambda: analysis_config(lazy_complement=True,
+                                                      subsumption=True),
+}
+
+
+def run_suite(programs, config):
+    """Analyze every program; returns (results, solved, unsolved)."""
+    from repro.core.api import prove_termination
+
+    results = {}
+    solved = unsolved = 0
+    for bench in programs:
+        result = prove_termination(bench.parse(), config)
+        results[bench.name] = result
+        if result.verdict.value == bench.expected:
+            solved += 1
+        else:
+            unsolved += 1
+    return results, solved, unsolved

@@ -1,0 +1,46 @@
+"""repro: automata-based program termination checking.
+
+A from-scratch reproduction of *"Advanced Automata-based Algorithms for
+Program Termination Checking"* (Chen, Heizmann, Lengal, Li, Tsai,
+Turrini, Zhang; PLDI 2018): multi-stage certified-module
+generalization, NCSB-Lazy complementation of semideterministic Buechi
+automata, and subsumption-pruned on-the-fly language difference.
+
+Quickstart::
+
+    from repro import prove_termination_source
+
+    result = prove_termination_source('''
+    program sort(i, j):
+        while i > 0:
+            j := 1
+            while j < i:
+                j := j + 1
+            i := i - 1
+    ''')
+    assert result.verdict.value == "terminating"
+
+Packages: :mod:`repro.logic` (exact linear arithmetic),
+:mod:`repro.program` (the mini imperative language),
+:mod:`repro.ranking` (lasso proving), :mod:`repro.automata`
+(omega-automata algorithms), :mod:`repro.core` (the analysis), and
+:mod:`repro.benchgen` (workload generators for the benchmarks).
+"""
+
+from repro.core.api import (prove_termination, prove_termination_portfolio,
+                            prove_termination_source)
+from repro.core.config import AnalysisConfig, StageSequence
+from repro.core.refinement import TerminationResult, Verdict
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "prove_termination",
+    "prove_termination_portfolio",
+    "prove_termination_source",
+    "AnalysisConfig",
+    "StageSequence",
+    "TerminationResult",
+    "Verdict",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Kurshan's polynomial complementation of deterministic BAs.
+
+For a complete DBA ``A`` with accepting set ``F``, a word is rejected
+iff its unique run visits ``F`` only finitely often, i.e. eventually
+stays in ``Q \\ F`` forever.  The complement therefore runs a copy of
+``A`` and nondeterministically jumps into a second, ``F``-free copy
+where it must stay forever:
+
+    states   Q x {wait} | (Q \\ F) x {safe}
+    accepting: the safe copy
+
+This is the classical construction with ``2n`` states and O(n) space
+(Kurshan 1987), used for stage-2 (deterministic) modules.
+"""
+
+from __future__ import annotations
+
+from repro.automata.gba import GBA, State, Symbol, ba
+from repro.automata.classify import is_complete, is_deterministic
+
+WAIT = "wait"
+SAFE = "safe"
+
+
+def complement_dba(auto: GBA) -> GBA:
+    """Complement a complete deterministic BA."""
+    if not auto.is_ba():
+        raise ValueError("expected a BA")
+    if not is_deterministic(auto):
+        raise ValueError("expected a deterministic BA")
+    if not is_complete(auto):
+        raise ValueError("complete the DBA before complementing (see ops.complete)")
+    accepting = auto.accepting
+    transitions: dict[tuple[State, Symbol], set[State]] = {}
+    states: set[State] = set()
+    for q in auto.states:
+        states.add((q, WAIT))
+        if q not in accepting:
+            states.add((q, SAFE))
+    for (q, symbol), targets in auto.transitions.items():
+        (target,) = targets
+        moves: set[State] = {(target, WAIT)}
+        if target not in accepting:
+            moves.add((target, SAFE))  # guess: no accepting state from here on
+        transitions[((q, WAIT), symbol)] = moves
+        if q not in accepting:
+            if target not in accepting:
+                transitions[((q, SAFE), symbol)] = {(target, SAFE)}
+            # else: the safe run dies (it touched F): no transition.
+    initial: list[State] = []
+    for q in auto.initial_states():
+        initial.append((q, WAIT))
+        if q not in accepting:
+            initial.append((q, SAFE))
+    accepting_states = {(q, SAFE) for q in auto.states if q not in accepting}
+    return ba(auto.alphabet, transitions, initial, accepting_states, states=states)

@@ -1,0 +1,62 @@
+"""Complementation of finite-trace BAs in constant space.
+
+A finite-trace BA (stage-1 module shape) accepts ``w . Sigma^w`` for a
+single finite word ``w = w_1 ... w_n``: a simple chain of states ending
+in an accepting state with a universal self-loop.  Its complement is the
+set of words that *deviate* from ``w`` at some position ``i <= n``: a
+chain that, at step ``i``, moves to an accepting all-accepting sink on
+every symbol other than ``w_i``.
+
+The construction needs no powerset machinery at all -- the complement
+has ``n + 2`` states (hence the paper's O(1) *extra* space)."""
+
+from __future__ import annotations
+
+from repro.automata.gba import GBA, State, Symbol, ba
+from repro.automata.classify import is_finite_trace
+
+
+def finite_trace_word(auto: GBA) -> list[Symbol]:
+    """The finite word ``w`` of a finite-trace BA (chain labels)."""
+    if not is_finite_trace(auto):
+        raise ValueError("not a finite-trace BA")
+    (state,) = auto.initial_states()
+    word: list[Symbol] = []
+    while state not in auto.accepting:
+        ((symbol, target),) = [(a, t) for a in auto.alphabet
+                               for t in auto.successors(state, a)]
+        word.append(symbol)
+        state = target
+    return word
+
+
+def complement_finite_trace(auto: GBA) -> GBA:
+    """Complement of a finite-trace BA over its own alphabet.
+
+    ``L = w . Sigma^w``; the complement accepts every word whose first
+    ``|w|`` symbols differ from ``w`` somewhere.  If ``w`` is empty the
+    complement is the empty language (an automaton with no accepting
+    reachable cycle).
+    """
+    word = finite_trace_word(auto)
+    sigma = auto.alphabet
+    sink: State = ("escape",)
+    transitions: dict[tuple[State, Symbol], set[State]] = {}
+    states: set[State] = {sink}
+    for symbol in sigma:
+        transitions[(sink, symbol)] = {sink}
+    for i, expected in enumerate(word):
+        here: State = ("pos", i)
+        states.add(here)
+        for symbol in sigma:
+            if symbol == expected:
+                target: State = ("pos", i + 1) if i + 1 < len(word) else ("match",)
+                transitions[(here, symbol)] = {target}
+            else:
+                transitions[(here, symbol)] = {sink}
+    # The "match" state means the whole of w was read: dead end (every
+    # continuation is in L, hence not in the complement).
+    match: State = ("match",)
+    states.add(match)
+    initial: State = ("pos", 0) if word else match
+    return ba(sigma, transitions, [initial], [sink], states=states | {initial})

@@ -1,0 +1,375 @@
+"""Algorithm 1: SCC-based useless-state removal for GBAs.
+
+This is the paper's modification of the Gaiser--Schwoon emptiness check
+(itself a refinement of Couvreur's algorithm): a single depth-first
+traversal that
+
+- decides emptiness of ``L(A)``,
+- classifies every visited state as *useful* (nonempty language, goes
+  to ``Q'``) or *useless* (goes to ``emp``), and
+- works on-the-fly -- the input is any :class:`ImplicitGBA`, so the
+  difference automaton of Section 4 is explored lazily and only its
+  useful part is materialized.
+
+The membership tests on ``emp`` (lines 3 and 11 of Algorithm 1) are
+routed through a pluggable :class:`EmptyOracle`; the difference
+construction substitutes the subsumption-based ``ceil(emp)`` antichain
+of Section 6 (Eq. 10).
+
+The implementation is iterative (explicit DFS frames) so automata with
+hundreds of thousands of states do not hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.automata.gba import GBA, ImplicitGBA, State, Symbol
+from repro.automata.words import UPWord
+
+
+class EmptyOracle:
+    """Exact bookkeeping of states proved useless (the default ``emp``)."""
+
+    def __init__(self) -> None:
+        self._emp: set[State] = set()
+
+    def add(self, state: State) -> None:
+        self._emp.add(state)
+
+    def contains(self, state: State) -> bool:
+        return state in self._emp
+
+    def __len__(self) -> int:
+        return len(self._emp)
+
+
+@dataclass
+class RemovalStats:
+    """Exploration counters reported by :func:`remove_useless`."""
+
+    explored_states: int = 0
+    explored_edges: int = 0
+    useful_states: int = 0
+    useless_states: int = 0
+    subsumption_hits: int = 0
+
+
+class _Frame:
+    __slots__ = ("state", "edges", "is_nemp")
+
+    def __init__(self, state: State, edges: Iterator[tuple[Symbol, State]]):
+        self.state = state
+        self.edges = edges
+        self.is_nemp = False
+
+
+def remove_useless(auto: ImplicitGBA, *,
+                   oracle: EmptyOracle | None = None,
+                   on_transition: Callable[[State, Symbol, State], None] | None = None,
+                   state_limit: int | None = None,
+                   deadline: float | None = None,
+                   ) -> tuple[GBA, RemovalStats]:
+    """Materialize the useful part of an implicit GBA (Algorithm 1).
+
+    Returns ``(A', stats)`` where every state of ``A'`` has a nonempty
+    language; ``L(A') = L(A)`` and ``A'`` is empty iff ``L(A)`` is.
+    ``oracle`` replaces the exact ``emp`` set (subsumption pruning);
+    ``on_transition`` observes every explored edge; ``state_limit``
+    raises :class:`ExplorationLimit` when the traversal grows too big.
+    """
+    oracle = oracle if oracle is not None else EmptyOracle()
+    stats = RemovalStats()
+    all_conditions = frozenset(range(auto.acceptance_count))
+
+    useful: set[State] = set()
+    dfsnum: dict[State, int] = {}
+    counter = [0]
+    scc_stack: list[tuple[State, frozenset[int]]] = []  # SCCs in the paper
+    act_stack: list[State] = []
+    act_set: set[State] = set()
+    edges_seen: list[tuple[State, Symbol, State]] = []
+
+    def edge_iter(state: State) -> Iterator[tuple[Symbol, State]]:
+        for symbol in sorted(auto.alphabet, key=str):
+            for target in auto.successors(state, symbol):
+                yield symbol, target
+
+    def construct(root: State) -> None:
+        frames: list[_Frame] = []
+
+        def push(state: State) -> None:
+            counter[0] += 1
+            dfsnum[state] = counter[0]
+            stats.explored_states += 1
+            if state_limit is not None and stats.explored_states > state_limit:
+                raise ExplorationLimit(state_limit)
+            if (deadline is not None and stats.explored_states % 256 == 0
+                    and time.perf_counter() > deadline):
+                raise ExplorationTimeout(deadline)
+            scc_stack.append((state, auto.accepting_sets_of(state)))
+            act_stack.append(state)
+            act_set.add(state)
+            frames.append(_Frame(state, edge_iter(state)))
+
+        push(root)
+        while frames:
+            frame = frames[-1]
+            advanced = False
+            for symbol, target in frame.edges:
+                stats.explored_edges += 1
+                edges_seen.append((frame.state, symbol, target))
+                if on_transition is not None:
+                    on_transition(frame.state, symbol, target)
+                if target in useful:
+                    frame.is_nemp = True
+                elif oracle.contains(target):
+                    # Line 11 of Algorithm 1: t in ceil(emp).  With the
+                    # subsumption oracle this may prune even *active*
+                    # states (a back edge through a provably empty state
+                    # can never contribute an accepting cycle).
+                    stats.subsumption_hits += 1
+                    continue
+                elif target in act_set:
+                    # Back edge: collapse the potential SCC entries down to
+                    # the entry point of the cycle, joining their conditions.
+                    joined: frozenset[int] = frozenset()
+                    while True:
+                        entry, conditions = scc_stack.pop()
+                        joined |= conditions
+                        if joined == all_conditions:
+                            frame.is_nemp = True
+                        if dfsnum[entry] <= dfsnum[target]:
+                            break
+                    scc_stack.append((entry, joined))
+                elif target not in dfsnum:
+                    push(target)
+                    advanced = True
+                    break
+                # else: target already classified useless -- skip.
+            if advanced:
+                continue
+            # Frame exhausted: maybe close the SCC rooted at this state.
+            frames.pop()
+            state = frame.state
+            if scc_stack and scc_stack[-1][0] == state:
+                scc_stack.pop()
+                while True:
+                    member = act_stack.pop()
+                    act_set.discard(member)
+                    if frame.is_nemp:
+                        useful.add(member)
+                    else:
+                        oracle.add(member)
+                    if member == state:
+                        break
+            if frames:
+                frames[-1].is_nemp = frames[-1].is_nemp or frame.is_nemp
+
+    for initial in sorted(auto.initial_states(), key=repr):
+        if initial not in useful and not oracle.contains(initial):
+            if initial not in dfsnum:
+                construct(initial)
+
+    transitions: dict[tuple[State, Symbol], set[State]] = {}
+    for source, symbol, target in edges_seen:
+        if source in useful and target in useful:
+            transitions.setdefault((source, symbol), set()).add(target)
+    acc = [[q for q in useful if j in auto.accepting_sets_of(q)]
+           for j in range(auto.acceptance_count)]
+    result = GBA(auto.alphabet, transitions,
+                 [q for q in auto.initial_states() if q in useful],
+                 acc, states=useful)
+    stats.useful_states = len(useful)
+    stats.useless_states = len(oracle)
+    return result, stats
+
+
+class ExplorationLimit(RuntimeError):
+    """Raised when ``state_limit`` is exceeded during Algorithm 1."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"exploration limit of {limit} states exceeded")
+        self.limit = limit
+
+
+class ExplorationTimeout(RuntimeError):
+    """Raised when the wall-clock ``deadline`` passes during Algorithm 1."""
+
+    def __init__(self, deadline: float):
+        super().__init__("exploration deadline exceeded")
+        self.deadline = deadline
+
+
+def is_empty(auto: ImplicitGBA, **kwargs) -> bool:
+    """Language emptiness via Algorithm 1."""
+    useful, _ = remove_useless(auto, **kwargs)
+    return not useful.initial_states()
+
+
+def is_empty_naive(auto: GBA) -> bool:
+    """Reference emptiness check (for tests): reachable SCC analysis.
+
+    Computes SCCs of the reachable explicit graph with Tarjan's
+    algorithm and looks for a non-trivial SCC hitting every set.
+    """
+    return find_accepting_lasso(auto) is None
+
+
+def _tarjan_sccs(auto: GBA) -> list[list[State]]:
+    index: dict[State, int] = {}
+    low: dict[State, int] = {}
+    on_stack: set[State] = set()
+    stack: list[State] = []
+    counter = [0]
+    sccs: list[list[State]] = []
+
+    reachable: list[State] = []
+    seen: set[State] = set(auto.initial_states())
+    queue = deque(seen)
+    while queue:
+        q = queue.popleft()
+        reachable.append(q)
+        for t in auto.post(q):
+            if t not in seen:
+                seen.add(t)
+                queue.append(t)
+
+    def strongconnect(v: State) -> None:
+        work: list[tuple[State, Iterator[State]]] = [
+            (v, iter(sorted(auto.post(v), key=repr)))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(auto.post(w), key=repr))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                sccs.append(component)
+
+    for v in reachable:
+        if v not in index:
+            strongconnect(v)
+    return sccs
+
+
+def _scc_is_accepting(auto: GBA, component: list[State]) -> bool:
+    members = set(component)
+    has_edge = any(t in members for q in component for t in auto.post(q))
+    if not has_edge:
+        return False
+    needed = set(range(auto.acceptance_count))
+    for q in component:
+        needed -= auto.accepting_sets_of(q)
+    return not needed
+
+
+def find_accepting_lasso(auto: GBA) -> UPWord | None:
+    """Extract an accepted ultimately periodic word, or None if empty.
+
+    Finds a reachable accepting SCC, builds a stem by BFS from an
+    initial state, and a period inside the SCC that visits a state of
+    every acceptance set before closing the cycle.
+    """
+    target_scc: set[State] | None = None
+    for component in _tarjan_sccs(auto):
+        if _scc_is_accepting(auto, component):
+            target_scc = set(component)
+            break
+    if target_scc is None:
+        return None
+
+    stem, entry = _bfs_path(auto, auto.initial_states(),
+                            lambda q: q in target_scc, within=None)
+    assert entry is not None, "accepting SCC must be reachable"
+
+    period: list[Symbol] = []
+    current = entry
+    for j in range(auto.acceptance_count):
+        if j in auto.accepting_sets_of(current):
+            continue
+        segment, current = _bfs_path(
+            auto, [current], lambda q, jj=j: jj in auto.accepting_sets_of(q),
+            within=target_scc)
+        assert current is not None
+        period.extend(segment)
+    closing, back = _bfs_path(auto, [current], lambda q: q == entry,
+                              within=target_scc, require_step=not period)
+    assert back is not None
+    period.extend(closing)
+    return UPWord(tuple(stem), tuple(period))
+
+
+def _bfs_path(auto: GBA, sources: Iterable[State],
+              goal: Callable[[State], bool],
+              within: set[State] | None,
+              require_step: bool = False) -> tuple[list[Symbol], State | None]:
+    """Shortest symbol path from ``sources`` to a goal state.
+
+    ``within`` restricts intermediate states; ``require_step`` forces at
+    least one transition (for closing a cycle at the start state).
+    """
+    sources = list(sources)
+    sources_set = set(sources)
+    if not require_step:
+        for s in sources:
+            if goal(s):
+                return [], s
+    parents: dict[State, tuple[State, Symbol]] = {}
+    queue: deque[State] = deque(sources)
+    while queue:
+        q = queue.popleft()
+        for symbol in sorted(auto.alphabet, key=str):
+            for t in auto.successors(q, symbol):
+                if within is not None and t not in within:
+                    continue
+                if t in sources_set:
+                    if goal(t):  # cycle back to a source in >= 1 step
+                        return _reconstruct(parents, q, sources_set) + [symbol], t
+                    continue
+                if t not in parents:
+                    parents[t] = (q, symbol)
+                    if goal(t):
+                        return _reconstruct(parents, t, sources_set), t
+                    queue.append(t)
+    return [], None
+
+
+def _reconstruct(parents: dict[State, tuple[State, Symbol]],
+                 target: State, sources: set[State]) -> list[Symbol]:
+    path: list[Symbol] = []
+    current = target
+    while current not in sources:
+        parent, symbol = parents[current]
+        path.append(symbol)
+        current = parent
+    path.reverse()
+    return path

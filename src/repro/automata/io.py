@@ -1,0 +1,191 @@
+"""Serialization of automata: HOA (Hanoi Omega-Automata) and Graphviz DOT.
+
+The HOA format is the lingua franca of omega-automata tooling (Spot,
+Owl, Seminator, ...).  Our alphabets are *symbolic* -- program
+statements, not propositional valuations -- so the exporter uses a
+one-hot encoding: one atomic proposition per alphabet symbol, and the
+letter for symbol ``i`` is the valuation ``!0 & .. & i & .. & !n-1``.
+The importer reads back exactly that subset (plus plain single-AP
+labels), so ``from_hoa(to_hoa(A))`` round-trips.
+
+Acceptance is exported as state-based generalized Buechi
+(``generalized-Buchi k`` with ``Inf(0) & ... & Inf(k-1)``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.automata.gba import GBA, State, Symbol
+
+
+# -- DOT -------------------------------------------------------------------------
+
+def to_dot(auto: GBA, name: str = "automaton",
+           state_label: Callable[[State], str] = str) -> str:
+    """Graphviz DOT rendering (doubled circles for BA-accepting states)."""
+    states = sorted(auto.states, key=repr)
+    index = {q: i for i, q in enumerate(states)}
+    lines = [f"digraph {name} {{", "  rankdir=LR;",
+             '  node [shape=circle, fontsize=10];']
+    accepting = auto.acc_sets[0] if auto.is_ba() else frozenset()
+    for q in states:
+        shape = "doublecircle" if q in accepting else "circle"
+        sets = sorted(auto.accepting_sets_of(q))
+        suffix = f"\\n{sets}" if sets and not auto.is_ba() else ""
+        lines.append(f'  s{index[q]} [label="{_dot_escape(state_label(q))}'
+                     f'{suffix}", shape={shape}];')
+    for i, q in enumerate(auto.initial_states()):
+        lines.append(f'  init{i} [shape=point, style=invis];')
+        lines.append(f'  init{i} -> s{index[q]};')
+    for (q, symbol), targets in sorted(auto.transitions.items(), key=repr):
+        for t in sorted(targets, key=repr):
+            lines.append(f'  s{index[q]} -> s{index[t]} '
+                         f'[label="{_dot_escape(str(symbol))}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+# -- HOA export --------------------------------------------------------------------
+
+def to_hoa(auto: GBA, name: str = "repro") -> str:
+    """Serialize to HOA v1 with one-hot symbol encoding."""
+    states = sorted(auto.states, key=repr)
+    index = {q: i for i, q in enumerate(states)}
+    symbols = sorted(auto.alphabet, key=str)
+    sym_index = {s: i for i, s in enumerate(symbols)}
+    k = auto.acceptance_count
+
+    lines = ["HOA: v1", f"name: \"{name}\"", f"States: {len(states)}"]
+    for q in sorted(auto.initial_states(), key=repr):
+        lines.append(f"Start: {index[q]}")
+    aps = " ".join(f"\"{_hoa_escape(str(s))}\"" for s in symbols)
+    lines.append(f"AP: {len(symbols)} {aps}")
+    if k == 0:
+        lines.append("acc-name: all")
+        lines.append("Acceptance: 0 t")
+    else:
+        lines.append(f"acc-name: generalized-Buchi {k}")
+        lines.append("Acceptance: {} {}".format(
+            k, " & ".join(f"Inf({j})" for j in range(k))))
+    lines.append("properties: explicit-labels state-acc")
+    lines.append("--BODY--")
+    for q in states:
+        sets = sorted(auto.accepting_sets_of(q))
+        marker = (" {" + " ".join(map(str, sets)) + "}") if sets else ""
+        lines.append(f"State: {index[q]}{marker}")
+        for symbol in symbols:
+            for t in sorted(auto.successors(q, symbol), key=repr):
+                label = _one_hot(sym_index[symbol], len(symbols))
+                lines.append(f"  [{label}] {index[t]}")
+    lines.append("--END--")
+    return "\n".join(lines) + "\n"
+
+
+def _one_hot(i: int, n: int) -> str:
+    if n == 1:
+        return "0"
+    return " & ".join(str(j) if j == i else f"!{j}" for j in range(n))
+
+
+def _hoa_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+# -- HOA import --------------------------------------------------------------------
+
+class HOAError(ValueError):
+    """Malformed or unsupported HOA input."""
+
+
+_STATE_RE = re.compile(r"State:\s*(\d+)(?:\s*\"[^\"]*\")?(?:\s*\{([\d\s]*)\})?")
+_EDGE_RE = re.compile(r"\[([^\]]*)\]\s*(\d+)")
+_AP_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def from_hoa(text: str) -> GBA:
+    """Parse the HOA subset emitted by :func:`to_hoa`.
+
+    Supports: ``States``/``Start``/``AP``/``Acceptance`` headers,
+    state-based acceptance markers, and explicit labels that are
+    conjunctions of literals selecting exactly one AP (the one-hot
+    letters produced by the exporter; a bare ``[i]`` or ``[0]`` with a
+    single AP also works).
+    """
+    if "--BODY--" not in text:
+        raise HOAError("missing --BODY-- section")
+    header_text, body = text.split("--BODY--", 1)
+    body = body.split("--END--", 1)[0]
+
+    n_states: int | None = None
+    initial: list[int] = []
+    aps: list[str] = []
+    k = 0
+    for line in header_text.splitlines():
+        line = line.strip()
+        if line.startswith("States:"):
+            n_states = int(line.split(":", 1)[1])
+        elif line.startswith("Start:"):
+            initial.append(int(line.split(":", 1)[1]))
+        elif line.startswith("AP:"):
+            aps = [m.group(1).replace('\\"', '"').replace("\\\\", "\\")
+                   for m in _AP_RE.finditer(line)]
+        elif line.startswith("acc-name: generalized-Buchi"):
+            k = int(line.rsplit(" ", 1)[1])
+        elif line.startswith("acc-name: Buchi"):
+            k = 1
+        elif line.startswith("acc-name: all"):
+            k = 0
+    if n_states is None:
+        raise HOAError("missing States: header")
+    if not aps:
+        raise HOAError("missing AP: header")
+
+    transitions: dict[tuple[int, str], set[int]] = {}
+    acc_sets: list[set[int]] = [set() for _ in range(k)]
+    current: int | None = None
+    for raw in body.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        state_match = _STATE_RE.match(line)
+        if state_match:
+            current = int(state_match.group(1))
+            if state_match.group(2):
+                for j in state_match.group(2).split():
+                    acc_sets[int(j)].add(current)
+            continue
+        edge_match = _EDGE_RE.match(line)
+        if edge_match:
+            if current is None:
+                raise HOAError(f"edge before any State: {line!r}")
+            symbol = aps[_decode_label(edge_match.group(1), len(aps))]
+            transitions.setdefault((current, symbol), set()).add(
+                int(edge_match.group(2)))
+            continue
+        raise HOAError(f"unsupported body line: {line!r}")
+
+    return GBA(set(aps), transitions, initial, acc_sets,
+               states=range(n_states))
+
+
+def _decode_label(label: str, n_aps: int) -> int:
+    """Index of the single positive literal in a one-hot conjunction."""
+    label = label.strip()
+    if label == "t" and n_aps == 1:
+        return 0
+    positives = []
+    for literal in label.split("&"):
+        literal = literal.strip()
+        if not literal:
+            raise HOAError(f"empty literal in label [{label}]")
+        if not literal.startswith("!"):
+            positives.append(int(literal))
+    if len(positives) != 1:
+        raise HOAError(f"label [{label}] is not a one-hot letter")
+    return positives[0]

@@ -1,0 +1,171 @@
+"""Early simulation relations (Section 6.1).
+
+The paper introduces two trace simulations to prove that the macro-state
+subsumptions under-approximate language inclusion:
+
+- ``pi_p`` is **early+1 simulated** by ``pi_r`` (Eq. 12) iff between
+  every two accepting visits of ``pi_p`` (positions ``i < j``), ``pi_r``
+  visits an accepting state at some ``k`` with ``i < k <= j``;
+- ``pi_p`` is **early simulated** by ``pi_r`` (Eq. 11) iff additionally
+  ``pi_r``'s first accepting visit happens no later than ``pi_p``'s
+  (the ``i = -1`` case).
+
+State-level simulation quantifies over a Duplicator strategy.  Both
+relations are *safety* conditions on the product play -- a violation is
+a finite prefix in which Spoiler closes an accepting window that
+Duplicator failed to serve -- so the winning regions are greatest
+fixpoints over a monitored product game:
+
+    game node:  (p, r, owing)
+
+``owing`` records that Spoiler has visited F since Duplicator's last
+F-visit; Spoiler visiting F again while still owing (without Duplicator
+serving at the same step) is the losing move.
+
+Proposition 6.1 (``early <= early+1 <= language inclusion``) is checked
+by the test suite against word sampling, and Lemma 6.2 (the NCSB
+subsumptions are early simulations) against the actual complement
+automata.
+"""
+
+from __future__ import annotations
+
+from repro.automata.gba import GBA, State
+
+
+def _violates(owing: bool, p_acc: bool, r_acc: bool) -> bool:
+    """Spoiler closes an owed window without Duplicator serving it."""
+    return owing and p_acc and not r_acc
+
+
+def _step(owing: bool, p_acc: bool, r_acc: bool) -> bool:
+    """Monitor update after a joint move to ``(p, r)`` (no violation)."""
+    if r_acc:
+        owing = False
+    if p_acc:
+        owing = True
+    return owing
+
+
+def _simulation_pairs(auto: GBA, initial_owing: bool) -> set[tuple[State, State]]:
+    """Pairs ``(p, r)`` with ``p`` simulated by ``r``.
+
+    ``initial_owing`` selects the relation: ``True`` adds the paper's
+    ``i = -1`` obligation (early simulation), ``False`` gives early+1.
+    """
+    if not auto.is_ba():
+        raise ValueError("early simulations are defined on BAs")
+    accepting = auto.accepting
+    states = sorted(auto.states, key=repr)
+
+    # Greatest fixpoint over game nodes (p, r, owing): a node survives iff
+    # for every Spoiler move (a, p') some Duplicator reply (a, r') is
+    # non-violating and leads to a surviving node.
+    alive: set[tuple[State, State, bool]] = {
+        (p, r, owing) for p in states for r in states for owing in (False, True)}
+
+    changed = True
+    while changed:
+        changed = False
+        for node in list(alive):
+            p, r, owing = node
+            for symbol in auto.alphabet:
+                p_moves = auto.successors(p, symbol)
+                if not p_moves:
+                    continue
+                r_moves = auto.successors(r, symbol)
+                for p2 in p_moves:
+                    p_acc = p2 in accepting
+                    ok = False
+                    for r2 in r_moves:
+                        r_acc = r2 in accepting
+                        if _violates(owing, p_acc, r_acc):
+                            continue
+                        if (p2, r2, _step(owing, p_acc, r_acc)) in alive:
+                            ok = True
+                            break
+                    if not ok:
+                        alive.discard(node)
+                        changed = True
+                        break
+                if node not in alive:
+                    break
+
+    # Project to state pairs: process position 0 (the states themselves).
+    result: set[tuple[State, State]] = set()
+    for p in states:
+        for r in states:
+            p_acc, r_acc = p in accepting, r in accepting
+            if _violates(initial_owing, p_acc, r_acc):
+                continue
+            if (p, r, _step(initial_owing, p_acc, r_acc)) in alive:
+                result.add((p, r))
+    return result
+
+
+def early_simulation(auto: GBA) -> set[tuple[State, State]]:
+    """The early simulation ``<=_e`` of Eq. 11 as a set of state pairs."""
+    return _simulation_pairs(auto, initial_owing=True)
+
+
+def early_plus_one_simulation(auto: GBA) -> set[tuple[State, State]]:
+    """The early+1 simulation ``<=_{e+1}`` of Eq. 12 as a set of state pairs."""
+    return _simulation_pairs(auto, initial_owing=False)
+
+
+def direct_simulation(auto: GBA) -> set[tuple[State, State]]:
+    """Classical direct simulation (``p in F  =>  r in F`` stepwise).
+
+    Strictly stronger than both early simulations; used for
+    simulation-based state-space reduction (:func:`quotient`).
+    """
+    if not auto.is_ba():
+        raise ValueError("direct simulation is defined on BAs")
+    accepting = auto.accepting
+    states = sorted(auto.states, key=repr)
+    related: set[tuple[State, State]] = {
+        (p, r) for p in states for r in states
+        if (p not in accepting) or (r in accepting)}
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in list(related):
+            p, r = pair
+            for symbol in auto.alphabet:
+                for p2 in auto.successors(p, symbol):
+                    if not any((p2, r2) in related
+                               for r2 in auto.successors(r, symbol)):
+                        related.discard(pair)
+                        changed = True
+                        break
+                if pair not in related:
+                    break
+    return related
+
+
+def quotient(auto: GBA) -> GBA:
+    """Quotient by direct-simulation equivalence (a language-preserving
+    state-space reduction usable on any BA)."""
+    related = direct_simulation(auto)
+    states = sorted(auto.states, key=repr)
+    # equivalence classes of mutual simulation
+    cls: dict[State, int] = {}
+    reps: list[State] = []
+    for q in states:
+        for k, rep in enumerate(reps):
+            if (q, rep) in related and (rep, q) in related:
+                cls[q] = k
+                break
+        else:
+            cls[q] = len(reps)
+            reps.append(q)
+    transitions: dict[tuple[int, object], set[int]] = {}
+    for (q, a), targets in auto.transitions.items():
+        for t in targets:
+            transitions.setdefault((cls[q], a), set()).add(cls[t])
+    accepting = {cls[q] for q in auto.accepting}
+    initial = {cls[q] for q in auto.initial_states()}
+    from repro.automata.gba import ba
+    return ba(auto.alphabet, transitions, initial, accepting,
+              states=set(cls.values()))

@@ -1,0 +1,193 @@
+"""Ultimately periodic words ``u v^w`` and membership testing.
+
+The refinement loop communicates counterexamples as ultimately periodic
+(lasso-shaped) words; stage selection checks ``u v^w in L(M_i)``
+membership against candidate modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.automata.gba import GBA, ImplicitGBA, Symbol
+
+
+@dataclass(frozen=True)
+class UPWord:
+    """An ultimately periodic word ``prefix . period^w``  (period nonempty)."""
+
+    prefix: tuple[Symbol, ...]
+    period: tuple[Symbol, ...]
+
+    def __post_init__(self) -> None:
+        if not self.period:
+            raise ValueError("the period of an ultimately periodic word is empty")
+
+    @staticmethod
+    def of(prefix: Iterable[Symbol], period: Iterable[Symbol]) -> "UPWord":
+        return UPWord(tuple(prefix), tuple(period))
+
+    def symbols(self) -> Iterator[Symbol]:
+        """Infinite iterator over the word's symbols."""
+        yield from self.prefix
+        while True:
+            yield from self.period
+
+    def at(self, index: int) -> Symbol:
+        if index < len(self.prefix):
+            return self.prefix[index]
+        return self.period[(index - len(self.prefix)) % len(self.period)]
+
+    def unroll_once(self) -> "UPWord":
+        """``u v^w = (u v) v^w`` -- used when an empty stem must be avoided."""
+        return UPWord(self.prefix + self.period, self.period)
+
+    def canonical(self) -> "UPWord":
+        """A normal form: minimal period rotation-free, maximal prefix folding.
+
+        Two UPWords denote the same omega-word iff their canonical forms
+        are equal.  The period is reduced to its primitive root; then
+        the prefix is folded back while its tail matches the period's
+        tail (e.g. ``a . (ba)^w`` becomes ``(ab)^w``).
+        """
+        period = list(self.period)
+        # primitive root of the period
+        n = len(period)
+        for d in range(1, n + 1):
+            if n % d == 0 and period == period[:d] * (n // d):
+                period = period[:d]
+                break
+        prefix = list(self.prefix)
+        while prefix and prefix[-1] == period[-1]:
+            prefix.pop()
+            period = [period[-1]] + period[:-1]
+        return UPWord(tuple(prefix), tuple(period))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UPWord):
+            return NotImplemented
+        if (self.prefix, self.period) == (other.prefix, other.period):
+            return True
+        a, b = self.canonical(), other.canonical()
+        return (a.prefix, a.period) == (b.prefix, b.period)
+
+    def __hash__(self) -> int:
+        c = self.canonical()
+        return hash((c.prefix, c.period))
+
+    def __str__(self) -> str:
+        stem = " ".join(str(s) for s in self.prefix)
+        loop = " ".join(str(s) for s in self.period)
+        return f"{stem} ({loop})^w" if stem else f"({loop})^w"
+
+
+def accepts(auto: ImplicitGBA, word: UPWord) -> bool:
+    """Does the GBA accept the ultimately periodic word?
+
+    Runs the standard product-with-lasso construction: positions of the
+    word form a lasso graph; we search the (position, state) product for
+    a reachable cycle through the loop part that hits every acceptance
+    set.  Works for any implicit GBA; the product is explored on the fly.
+    """
+    k = auto.acceptance_count
+    stem_len = len(word.prefix)
+    loop_len = len(word.period)
+
+    def position_after(pos: int) -> int:
+        nxt = pos + 1
+        if nxt >= stem_len + loop_len:
+            nxt = stem_len
+        return nxt
+
+    # Forward exploration of product states (pos, q).
+    start = [(0 if stem_len + loop_len > 0 else 0, q) for q in auto.initial_states()]
+    seen = set(start)
+    stack = list(start)
+    loop_nodes: set[tuple[int, object]] = set()
+    edges: dict[tuple[int, object], set[tuple[int, object]]] = {}
+    while stack:
+        pos, q = stack.pop()
+        if pos >= stem_len:
+            loop_nodes.add((pos, q))
+        symbol = word.at(pos)
+        nxt_pos = position_after(pos)
+        for q2 in auto.successors(q, symbol):
+            node = (nxt_pos, q2)
+            edges.setdefault((pos, q), set()).add(node)
+            if node not in seen:
+                seen.add(node)
+                stack.append(node)
+
+    # Accepting iff the subgraph induced by loop nodes has a reachable SCC
+    # containing a state from every acceptance set (and at least one edge).
+    return _has_accepting_scc(loop_nodes, edges, auto, k)
+
+
+def _has_accepting_scc(nodes, edges, auto: ImplicitGBA, k: int) -> bool:
+    """Tarjan SCC over the loop part; non-trivial SCC hitting all sets."""
+    index: dict = {}
+    lowlink: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    counter = [0]
+    found = [False]
+
+    def strongconnect(v) -> None:
+        work = [(v, iter(sorted(edges.get(v, ()), key=repr)))]
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in nodes:
+                    continue
+                if w not in index:
+                    index[w] = lowlink[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ()), key=repr))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    lowlink[node] = min(lowlink[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                if _component_accepting(component, edges, auto, k):
+                    found[0] = True
+
+    for v in nodes:
+        if v not in index:
+            strongconnect(v)
+            if found[0]:
+                return True
+    return found[0]
+
+
+def _component_accepting(component, edges, auto: ImplicitGBA, k: int) -> bool:
+    members = set(component)
+    has_edge = any(w in members for v in component for w in edges.get(v, ()))
+    if not has_edge:
+        return False
+    needed = set(range(k))
+    for pos_q in component:
+        needed -= auto.accepting_sets_of(pos_q[1])
+        if not needed:
+            return True
+    return not needed

@@ -1,0 +1,316 @@
+"""The synthetic program suite (SV-Comp Termination stand-in).
+
+Each :class:`BenchProgram` carries its source, the expected verdict, and
+a family tag.  ``program_suite`` returns a deterministic list; family
+generators are parameterized so the suite can be scaled.
+
+Families (mirroring the structural diversity of the SV-Comp set):
+
+- ``countdown``   -- simple linear loops, various decrements/guards,
+- ``nested``      -- nested loops (the paper's ``sort`` shape),
+- ``branching``   -- loops whose body branches (interleaved arguments),
+- ``phases``      -- two-phase loops needing path-sensitive reasoning,
+- ``nondet``      -- havoc-driven loops (termination for all choices),
+- ``infeasible``  -- loops guarded by contradictory conditions,
+- ``gcd``         -- Euclid-style alternation,
+- ``nonterm``     -- nonterminating members (the suite has both answers),
+- ``unknown-hard``-- lassos outside the linear-ranking fragment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.program.ast import Program
+from repro.program.parser import parse_program
+
+
+@dataclass(frozen=True)
+class BenchProgram:
+    name: str
+    family: str
+    source: str
+    expected: str  # "terminating" | "nonterminating" | "unknown"
+
+    def parse(self) -> Program:
+        return parse_program(self.source)
+
+
+def _p(name: str, family: str, expected: str, source: str) -> BenchProgram:
+    return BenchProgram(name, family, source, expected)
+
+
+def _countdowns() -> list[BenchProgram]:
+    out = [
+        _p("count_down", "countdown", "terminating", """
+program count_down(x):
+    while x > 0:
+        x := x - 1
+"""),
+        _p("count_down_by2", "countdown", "terminating", """
+program count_down_by2(x):
+    while x > 0:
+        x := x - 2
+"""),
+        _p("count_up_bounded", "countdown", "terminating", """
+program count_up_bounded(x, n):
+    while x < n:
+        x := x + 1
+"""),
+        _p("count_two_vars", "countdown", "terminating", """
+program count_two_vars(x, y):
+    while x + y > 0:
+        x := x - 1
+        y := y - 1
+"""),
+        _p("shift_gap", "countdown", "terminating", """
+program shift_gap(x, y):
+    while x > y:
+        x := x - 1
+        y := y + 1
+"""),
+    ]
+    for k in (3, 5, 9):
+        out.append(_p(f"count_step_{k}", "countdown", "terminating", f"""
+program count_step_{k}(x):
+    while x > 0:
+        x := x - {k}
+"""))
+    return out
+
+
+def _nested() -> list[BenchProgram]:
+    return [
+        _p("sort", "nested", "terminating", """
+program sort(i, j):
+    while i > 0:
+        j := 1
+        while j < i:
+            j := j + 1
+        i := i - 1
+"""),
+        _p("nested_reset", "nested", "terminating", """
+program nested_reset(i, j, n):
+    while i < n:
+        j := 0
+        while j < 3:
+            j := j + 1
+        i := i + 1
+"""),
+        _p("triple_nest", "nested", "terminating", """
+program triple_nest(a, b, c):
+    while a > 0:
+        b := a
+        while b > 0:
+            c := b
+            while c > 0:
+                c := c - 1
+            b := b - 1
+        a := a - 1
+"""),
+        _p("inner_depends_outer", "nested", "terminating", """
+program inner_depends_outer(i, j):
+    while i > 0:
+        j := i
+        while j > 0:
+            j := j - 1
+        i := i - 1
+"""),
+    ]
+
+
+def _branching() -> list[BenchProgram]:
+    return [
+        _p("two_branch", "branching", "terminating", """
+program two_branch(x, y):
+    while x > 0 and y > 0:
+        if x > y:
+            x := x - 1
+        else:
+            y := y - 1
+"""),
+        _p("branch_nondet", "branching", "terminating", """
+program branch_nondet(x, y):
+    while x + y > 0:
+        if *:
+            x := x - 1
+        else:
+            y := y - 1
+"""),
+        _p("lex_pair", "branching", "terminating", """
+program lex_pair(x, y):
+    while x > 0 and y > 0:
+        if y > 5:
+            y := y - 1
+        else:
+            x := x - 1
+            havoc y
+"""),
+        _p("alternate_guarded", "branching", "terminating", """
+program alternate_guarded(x, t):
+    while x > 0:
+        if t == 0:
+            x := x - 1
+            t := 1
+        else:
+            x := x - 2
+            t := 0
+"""),
+    ]
+
+
+def _phases() -> list[BenchProgram]:
+    return [
+        _p("two_phase", "phases", "terminating", """
+program two_phase(x, p):
+    while x > 0:
+        if p == 0:
+            x := x + 1
+            p := 1
+        else:
+            x := x - 2
+"""),
+        _p("warmup_then_down", "phases", "terminating", """
+program warmup_then_down(x, w):
+    while x > 0:
+        if w > 0:
+            w := w - 1
+        else:
+            x := x - 1
+"""),
+    ]
+
+
+def _nondet() -> list[BenchProgram]:
+    return [
+        _p("havoc_bounded", "nondet", "terminating", """
+program havoc_bounded(x, y):
+    while x > 0:
+        havoc y
+        assume y < x
+        assume y >= 0
+        x := y
+"""),
+        _p("havoc_outer", "nondet", "terminating", """
+program havoc_outer(n, i):
+    havoc n
+    i := 0
+    while i < n:
+        i := i + 1
+"""),
+        # havoc can always re-pick y = x, so an infinite run exists.
+        _p("havoc_refill", "nonterm", "nonterminating", """
+program havoc_refill(x, y):
+    while x > 0:
+        havoc y
+        x := y
+"""),
+    ]
+
+
+def _infeasible() -> list[BenchProgram]:
+    return [
+        _p("dead_loop", "infeasible", "terminating", """
+program dead_loop(x):
+    assume x > 10
+    while x < 0:
+        x := x + 1
+"""),
+        _p("contradictory_guard", "infeasible", "terminating", """
+program contradictory_guard(x):
+    while x > 3 and x < 2:
+        x := x + 1
+"""),
+        _p("stem_kills_loop", "infeasible", "terminating", """
+program stem_kills_loop(x):
+    x := 0
+    while x > 5:
+        x := x - 1
+"""),
+    ]
+
+
+def _gcd() -> list[BenchProgram]:
+    return [
+        _p("gcd_like", "gcd", "terminating", """
+program gcd_like(a, b):
+    while a > 0 and b > 0:
+        if a > b:
+            a := a - b
+        else:
+            b := b - a
+"""),
+        _p("sum_drain", "gcd", "terminating", """
+program sum_drain(a, b):
+    while a > 0 and b > 0:
+        if *:
+            a := a - 1
+            b := b + 1
+        else:
+            b := b - 2
+"""),
+    ]
+
+
+def _nonterm() -> list[BenchProgram]:
+    return [
+        _p("count_up", "nonterm", "nonterminating", """
+program count_up(x):
+    while x > 0:
+        x := x + 1
+"""),
+        _p("fixed_point", "nonterm", "nonterminating", """
+program fixed_point(x):
+    while x > 0:
+        x := x
+"""),
+        _p("oscillate_keep", "nonterm", "nonterminating", """
+program oscillate_keep(x, y):
+    while x > 0:
+        y := y + 1
+"""),
+        _p("stuck_even", "nonterm", "nonterminating", """
+program stuck_even(x):
+    assume x == 4
+    while x > 0:
+        x := x + 0
+"""),
+    ]
+
+
+def _hard() -> list[BenchProgram]:
+    return [
+        # Terminating in one step for any x >= 1; the prover discovers
+        # this through loop-infeasibility of the unrolled lasso.
+        _p("oscillating_affine", "unknown-hard", "terminating", """
+program oscillating_affine(x):
+    while x > 0:
+        x := 1 - 2 * x
+"""),
+        # The classic multiphase example (Ben-Amram & Genaim): x grows
+        # while y is positive, then shrinks.  Terminating, but outside
+        # the linear-ranking fragment -- the expected verdict is unknown
+        # (multiphase ranking functions are listed as future work).
+        _p("multiphase", "unknown-hard", "unknown", """
+program multiphase(x, y):
+    while x > 0:
+        x := x + y
+        y := y - 1
+"""),
+    ]
+
+
+_FAMILIES = [_countdowns, _nested, _branching, _phases, _nondet,
+             _infeasible, _gcd, _nonterm, _hard]
+
+
+def program_suite() -> list[BenchProgram]:
+    """The full deterministic benchmark suite."""
+    out: list[BenchProgram] = []
+    for family in _FAMILIES:
+        out.extend(family())
+    return out
+
+
+def suite_by_name() -> dict[str, BenchProgram]:
+    return {p.name: p for p in program_suite()}

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: multi-stage certified-module
+termination analysis.
+
+- :mod:`repro.core.module` -- certified modules ``(A_M, f_M, I_M)`` and
+  the Definition 3.1 validator,
+- :mod:`repro.core.stages` -- the stage 0-4 generalization constructions
+  of Section 3.1,
+- :mod:`repro.core.config` -- analysis configuration (stage sequences,
+  complementation options, budgets),
+- :mod:`repro.core.refinement` -- the refinement loop of Figure 1,
+- :mod:`repro.core.stats` -- per-analysis statistics,
+- :mod:`repro.core.api` -- the one-call public entry points.
+"""
+
+from repro.core.module import CertifiedModule, validate_module
+from repro.core.stages import (Stage, build_lasso_module, build_finite_module,
+                               build_deterministic_module,
+                               build_semideterministic_module,
+                               build_nondeterministic_module, generalize)
+from repro.core.config import AnalysisConfig, StageSequence
+from repro.core.stats import AnalysisStats, RefinementRound
+from repro.core.refinement import RefinementEngine, TerminationResult, Verdict
+from repro.core.api import (prove_termination, prove_termination_portfolio,
+                            prove_termination_source)
+
+__all__ = [
+    "CertifiedModule", "validate_module",
+    "Stage", "build_lasso_module", "build_finite_module",
+    "build_deterministic_module", "build_semideterministic_module",
+    "build_nondeterministic_module", "generalize",
+    "AnalysisConfig", "StageSequence",
+    "AnalysisStats", "RefinementRound",
+    "RefinementEngine", "TerminationResult", "Verdict",
+    "prove_termination", "prove_termination_portfolio",
+    "prove_termination_source",
+]

@@ -1,0 +1,71 @@
+"""Public entry points.
+
+>>> from repro import prove_termination_source
+>>> result = prove_termination_source('''
+... program count_down(x):
+...     while x > 0:
+...         x := x - 1
+... ''')
+>>> result.verdict.value
+'terminating'
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AnalysisConfig
+from repro.core.refinement import RefinementEngine, TerminationResult, Verdict
+from repro.core.stats import StatsCollector
+from repro.program.ast import Program
+from repro.program.cfg import build_cfg
+from repro.program.parser import parse_program
+
+
+def prove_termination(program: Program,
+                      config: AnalysisConfig | None = None,
+                      collector: StatsCollector | None = None,
+                      ) -> TerminationResult:
+    """Run the termination analysis on a parsed program."""
+    cfg = build_cfg(program)
+    engine = RefinementEngine(cfg, config, collector)
+    return engine.run()
+
+
+def prove_termination_source(source: str,
+                             config: AnalysisConfig | None = None,
+                             collector: StatsCollector | None = None,
+                             ) -> TerminationResult:
+    """Parse source text and run the termination analysis."""
+    return prove_termination(parse_program(source), config, collector)
+
+
+#: The default portfolio: the paper-faithful multi-stage configuration,
+#: then a retry with interpolant-based infeasibility modules -- the two
+#: generalization strategies have complementary strengths (see
+#: EXPERIMENTS.md).
+DEFAULT_PORTFOLIO: tuple[AnalysisConfig, ...] = (
+    AnalysisConfig(),
+    AnalysisConfig(interpolant_modules=True),
+)
+
+
+def prove_termination_portfolio(program: Program,
+                                configs: tuple[AnalysisConfig, ...] = DEFAULT_PORTFOLIO,
+                                timeout: float | None = None,
+                                ) -> TerminationResult:
+    """Run configurations in sequence until one produces a verdict.
+
+    ``timeout`` (if given) is split evenly across the configurations;
+    the last UNKNOWN result is returned when none succeeds.
+    """
+    if not configs:
+        raise ValueError("the portfolio needs at least one configuration")
+    budget = timeout / len(configs) if timeout is not None else None
+    result: TerminationResult | None = None
+    for config in configs:
+        if budget is not None:
+            config = config.with_(timeout=budget)
+        result = prove_termination(program, config)
+        if result.verdict is not Verdict.UNKNOWN:
+            return result
+    assert result is not None
+    return result

@@ -1,0 +1,164 @@
+"""The refinement loop of Figure 1.
+
+Starting from the program GBA, the engine repeatedly
+
+1. extracts an ultimately periodic word ``u v^w`` from the uncertified
+   remainder (Algorithm 1 keeps it trimmed, so a plain accepting-lasso
+   search suffices),
+2. runs the lasso prover,
+3. on success, generalizes the proof into a certified module through the
+   configured stage sequence,
+4. removes the module's language with the on-the-fly difference
+   (complementation class chosen by the module's shape; NCSB-Lazy and
+   subsumption per configuration),
+
+until the remainder is empty (TERMINATING), a nontermination witness is
+found (NONTERMINATING), or a budget is exhausted (UNKNOWN).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.automata.complement.dispatch import ComplementKind
+from repro.automata.difference import difference
+from repro.automata.emptiness import (ExplorationLimit, ExplorationTimeout,
+                                      find_accepting_lasso)
+from repro.automata.gba import GBA
+from repro.automata.words import UPWord
+from repro.core.config import AnalysisConfig
+from repro.core.module import CertifiedModule
+from repro.core.stages import Stage, build_finite_module, generalize
+from repro.core.stats import AnalysisStats, RefinementRound, StatsCollector
+from repro.program.cfg import ControlFlowGraph
+from repro.ranking.lasso import Lasso
+from repro.ranking.nontermination import NontermWitness
+from repro.ranking.synthesis import ProofKind, prove_lasso
+
+
+class Verdict(enum.Enum):
+    TERMINATING = "terminating"
+    NONTERMINATING = "nonterminating"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class TerminationResult:
+    """Outcome of a termination analysis."""
+
+    verdict: Verdict
+    modules: list[CertifiedModule] = field(default_factory=list)
+    witness: NontermWitness | None = None
+    witness_word: UPWord | None = None
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+    reason: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.verdict is Verdict.TERMINATING
+
+    def __repr__(self) -> str:
+        return f"TerminationResult({self.verdict.value}, modules={len(self.modules)})"
+
+
+class RefinementEngine:
+    """Drives the analysis of one program."""
+
+    def __init__(self, cfg: ControlFlowGraph,
+                 config: AnalysisConfig | None = None,
+                 collector: StatsCollector | None = None):
+        self._cfg = cfg
+        self._config = config or AnalysisConfig()
+        self._collector = collector or StatsCollector()
+
+    def run(self) -> TerminationResult:
+        config = self._config
+        collector = self._collector
+        deadline = (time.perf_counter() + config.timeout
+                    if config.timeout is not None else None)
+        program_gba: GBA = self._cfg.to_gba()
+        alphabet = program_gba.alphabet
+        current = program_gba
+        modules: list[CertifiedModule] = []
+
+        def finish(verdict: Verdict, *, witness=None, word=None,
+                   reason: str | None = None) -> TerminationResult:
+            stats = collector.finish(self._cfg.name, config.describe(), reason)
+            return TerminationResult(verdict, modules, witness, word, stats, reason)
+
+        for _ in range(config.max_refinements):
+            if deadline is not None and time.perf_counter() > deadline:
+                return finish(Verdict.UNKNOWN, reason="timeout")
+            round_start = time.perf_counter()
+            word = find_accepting_lasso(current)
+            if word is None:
+                return finish(Verdict.TERMINATING)
+
+            lasso = Lasso.from_word(word)
+            proof = prove_lasso(
+                lasso, check_nontermination=config.check_nontermination)
+            round_stats = RefinementRound(word=str(word),
+                                          proof_kind=proof.kind.value)
+            if proof.kind is ProofKind.NONTERMINATING:
+                collector.stats.record_round(round_stats)
+                return finish(Verdict.NONTERMINATING,
+                              witness=proof.witness, word=word)
+            if not proof.is_terminating:
+                collector.stats.record_round(round_stats)
+                return finish(Verdict.UNKNOWN, word=word,
+                              reason=f"lasso not provable: {word}")
+
+            module = generalize(proof, config.stages, alphabet,
+                                state_budget=config.stage_state_budget,
+                                interpolants=config.interpolant_modules)
+            round_stats.stage = module.stage
+            round_stats.module_states = len(module.automaton.states)
+            # With interpolant modules on, the O(1)-complement finite
+            # module still comes for free: subtract it in the same round
+            # so coverage is a strict superset of the stage-1 path.
+            companion: CertifiedModule | None = None
+            if (config.interpolant_modules
+                    and proof.kind is ProofKind.STEM_INFEASIBLE
+                    and module.stage != Stage.FINITE.value):
+                companion = build_finite_module(proof, alphabet)
+            try:
+                result = difference(
+                    current, module.automaton,
+                    lazy=config.lazy_complement,
+                    subsumption=config.subsumption,
+                    via_semidet=config.via_semidet,
+                    state_limit=config.difference_state_limit,
+                    deadline=deadline)
+            except ExplorationLimit:
+                collector.stats.record_round(round_stats)
+                return finish(Verdict.UNKNOWN, reason="difference state limit")
+            except ExplorationTimeout:
+                collector.stats.record_round(round_stats)
+                return finish(Verdict.UNKNOWN, reason="timeout")
+            if result.kind in (ComplementKind.SDBA_ORIGINAL,
+                               ComplementKind.SDBA_LAZY):
+                # the Figure 4 corpus: every SDBA sent to NCSB
+                collector.observe_sdba(module.automaton)
+            collector.observe_difference(round_stats, result)
+            current = result.automaton
+            if companion is not None and not result.is_empty:
+                try:
+                    extra = difference(
+                        current, companion.automaton,
+                        lazy=config.lazy_complement,
+                        subsumption=config.subsumption,
+                        state_limit=config.difference_state_limit,
+                        deadline=deadline)
+                except (ExplorationLimit, ExplorationTimeout):
+                    extra = None
+                if extra is not None:
+                    modules.append(companion)
+                    collector.stats.modules_by_stage[companion.stage] += 1
+                    current = extra.automaton
+            round_stats.seconds = time.perf_counter() - round_start
+            collector.stats.record_round(round_stats)
+            modules.append(module)
+            if not current.initial_states():
+                return finish(Verdict.TERMINATING)
+        return finish(Verdict.UNKNOWN, reason="refinement budget exhausted")

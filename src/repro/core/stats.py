@@ -1,0 +1,89 @@
+"""Per-analysis statistics.
+
+The evaluation section needs per-run counters: refinement rounds,
+modules produced per stage, difference-automaton sizes, complement
+exploration effort, and wall-clock times.  A :class:`StatsCollector`
+is threaded through the refinement engine; SDBAs sent to
+complementation can be captured for the Figure 4 corpus.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.automata.difference import DifferenceResult
+from repro.automata.gba import GBA
+
+
+@dataclass
+class RefinementRound:
+    """One iteration of the loop of Figure 1."""
+
+    word: str
+    proof_kind: str
+    stage: str | None = None
+    module_states: int = 0
+    difference_states: int = 0
+    explored_states: int = 0
+    subsumption_hits: int = 0
+    complement_kind: str | None = None
+    seconds: float = 0.0
+
+
+@dataclass
+class AnalysisStats:
+    """Aggregated statistics of one analysis run."""
+
+    program: str = ""
+    config: str = ""
+    rounds: list[RefinementRound] = field(default_factory=list)
+    modules_by_stage: Counter = field(default_factory=Counter)
+    total_seconds: float = 0.0
+    peak_difference_states: int = 0
+    gave_up_reason: str | None = None
+
+    @property
+    def iterations(self) -> int:
+        return len(self.rounds)
+
+    def record_round(self, round_stats: RefinementRound) -> None:
+        self.rounds.append(round_stats)
+        if round_stats.stage:
+            self.modules_by_stage[round_stats.stage] += 1
+        self.peak_difference_states = max(self.peak_difference_states,
+                                          round_stats.difference_states)
+
+    def summary(self) -> str:
+        stages = ", ".join(f"{k}={v}" for k, v in sorted(self.modules_by_stage.items()))
+        return (f"{self.program} [{self.config}]: {self.iterations} rounds, "
+                f"modules: {stages or 'none'}, {self.total_seconds:.3f}s")
+
+
+class StatsCollector:
+    """Collects rounds and (optionally) the SDBAs sent to complementation."""
+
+    def __init__(self, capture_sdbas: bool = False):
+        self.stats = AnalysisStats()
+        self.capture_sdbas = capture_sdbas
+        self.sdbas: list[GBA] = []
+        self._start = time.perf_counter()
+
+    def observe_difference(self, round_stats: RefinementRound,
+                           result: DifferenceResult) -> None:
+        round_stats.difference_states = len(result.automaton.states)
+        round_stats.explored_states = result.stats.explored_states
+        round_stats.subsumption_hits = result.stats.subsumption_hits
+        round_stats.complement_kind = result.kind.value
+
+    def observe_sdba(self, automaton: GBA) -> None:
+        if self.capture_sdbas:
+            self.sdbas.append(automaton)
+
+    def finish(self, program: str, config: str, reason: str | None) -> AnalysisStats:
+        self.stats.program = program
+        self.stats.config = config
+        self.stats.total_seconds = time.perf_counter() - self._start
+        self.stats.gave_up_reason = reason
+        return self.stats

@@ -1,0 +1,162 @@
+"""Normalized linear atoms.
+
+An :class:`Atom` is a constraint of the form ``term REL 0`` where ``REL``
+is one of ``<=``, ``<`` or ``=``.  Constructors normalize arbitrary
+comparisons (``lhs <= rhs`` etc.) to this form.  Atoms over
+integer-valued variables additionally admit *integral tightening*
+(``t < 0`` becomes ``t <= -1`` when all coefficients are integral),
+which improves the precision of the rational decision procedure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd as _gcd
+from typing import Mapping
+
+from repro.logic.terms import Coeff, LinTerm, _as_term
+
+
+class Rel(enum.Enum):
+    """Relation of a normalized atom ``term REL 0``."""
+
+    LE = "<="
+    LT = "<"
+    EQ = "="
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A normalized linear constraint ``term rel 0``."""
+
+    term: LinTerm
+    rel: Rel
+
+    def variables(self) -> frozenset[str]:
+        return self.term.variables()
+
+    def is_trivially_true(self) -> bool:
+        """Constant atom that always holds."""
+        if not self.term.is_constant():
+            return False
+        c = self.term.constant
+        if self.rel is Rel.LE:
+            return c <= 0
+        if self.rel is Rel.LT:
+            return c < 0
+        return c == 0
+
+    def is_trivially_false(self) -> bool:
+        """Constant atom that never holds."""
+        return self.term.is_constant() and not self.is_trivially_true()
+
+    def negate(self) -> Atom:
+        """Negation of this atom, when expressible as a single atom.
+
+        ``t <= 0`` negates to ``-t < 0``; ``t < 0`` to ``-t <= 0``.
+        Negating an equality is a disjunction, so :func:`negate_atom`
+        (returning a list of atoms, one per disjunct) must be used instead.
+        """
+        if self.rel is Rel.LE:
+            return Atom(-self.term, Rel.LT)
+        if self.rel is Rel.LT:
+            return Atom(-self.term, Rel.LE)
+        raise ValueError("negation of an equality is a disjunction; use negate_atom()")
+
+    def substitute(self, bindings: Mapping[str, LinTerm]) -> Atom:
+        return Atom(self.term.substitute(bindings), self.rel)
+
+    def rename(self, mapping: Mapping[str, str]) -> Atom:
+        return Atom(self.term.rename(mapping), self.rel)
+
+    def evaluate(self, valuation: Mapping[str, Coeff]) -> bool:
+        value = self.term.evaluate(valuation)
+        if self.rel is Rel.LE:
+            return value <= 0
+        if self.rel is Rel.LT:
+            return value < 0
+        return value == 0
+
+    def tighten_integral(self) -> Atom:
+        """Normalize and tighten the atom over integer-valued variables.
+
+        The atom is first scaled so every variable coefficient is an
+        integer and their gcd is 1 (positive scaling preserves the
+        relation exactly); then ``t + d < 0`` becomes
+        ``t + floor(d) + 1 <= 0`` and a fractional constant of a
+        non-strict atom is ceiling-normalized.  Equalities are scaled
+        but otherwise unchanged.  All steps are equivalences over the
+        integers, so callers may freely mix tightened and raw atoms.
+        """
+        coeffs = self.term.coeffs
+        if not coeffs:
+            return self
+        scale = Fraction(1)
+        lcm = 1
+        for c in coeffs.values():
+            lcm = lcm * c.denominator // _gcd(lcm, c.denominator)
+        gcd = 0
+        for c in coeffs.values():
+            gcd = _gcd(gcd, abs(c.numerator * (lcm // c.denominator)))
+        scale = Fraction(lcm, gcd if gcd else 1)
+        term = self.term * scale if scale != 1 else self.term
+        d = term.constant
+        linear = term - d
+        if self.rel is Rel.LT:
+            # linear + d < 0  over ints  <=>  linear <= -floor(d) - 1
+            return Atom(linear + Fraction(_floor(d) + 1), Rel.LE)
+        if self.rel is Rel.LE and d.denominator != 1:
+            # linear <= -d  <=>  linear <= floor(-d)  <=>  linear + ceil(d) <= 0
+            return Atom(linear + Fraction(_ceil(d)), Rel.LE)
+        if self.rel is Rel.EQ and d.denominator != 1:
+            # coprime integer coefficients cannot sum to a fraction
+            return Atom(LinTerm({}, 1), Rel.EQ)  # trivially false
+        return Atom(linear + d, self.rel) if scale != 1 else self
+
+    def __str__(self) -> str:
+        return f"{self.term} {self.rel} 0"
+
+
+def _floor(f: Fraction) -> int:
+    return f.numerator // f.denominator
+
+
+def _ceil(f: Fraction) -> int:
+    return -((-f.numerator) // f.denominator)
+
+
+def atom_le(lhs: LinTerm | Coeff, rhs: LinTerm | Coeff) -> Atom:
+    """The atom ``lhs <= rhs``."""
+    return Atom(_as_term(lhs) - _as_term(rhs), Rel.LE)
+
+
+def atom_lt(lhs: LinTerm | Coeff, rhs: LinTerm | Coeff) -> Atom:
+    """The atom ``lhs < rhs``."""
+    return Atom(_as_term(lhs) - _as_term(rhs), Rel.LT)
+
+
+def atom_ge(lhs: LinTerm | Coeff, rhs: LinTerm | Coeff) -> Atom:
+    """The atom ``lhs >= rhs``."""
+    return atom_le(rhs, lhs)
+
+
+def atom_gt(lhs: LinTerm | Coeff, rhs: LinTerm | Coeff) -> Atom:
+    """The atom ``lhs > rhs``."""
+    return atom_lt(rhs, lhs)
+
+
+def atom_eq(lhs: LinTerm | Coeff, rhs: LinTerm | Coeff) -> Atom:
+    """The atom ``lhs = rhs``."""
+    return Atom(_as_term(lhs) - _as_term(rhs), Rel.EQ)
+
+
+def negate_atom(atom: Atom) -> list[Atom]:
+    """Negation of an atom as a disjunction (list) of atoms."""
+    if atom.rel is Rel.EQ:
+        return [Atom(atom.term, Rel.LT), Atom(-atom.term, Rel.LT)]
+    return [atom.negate()]

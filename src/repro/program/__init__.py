@@ -1,0 +1,33 @@
+"""Program substrate: a small integer imperative language.
+
+Programs in this language play the role of the C programs Ultimate
+Automizer consumes: variables range over the integers, assignments are
+linear, guards are boolean combinations of linear comparisons, and
+``havoc``/``*`` provide nondeterminism.
+
+- :mod:`repro.program.statements` -- atomic statements (the *alphabet*
+  of the program automaton) with relational semantics and strongest
+  postconditions,
+- :mod:`repro.program.ast` -- structured syntax (while/if/sequence),
+- :mod:`repro.program.parser` -- an indentation-based concrete syntax,
+- :mod:`repro.program.cfg` -- control-flow graphs and their Buechi view,
+- :mod:`repro.program.interp` -- a concrete interpreter used for
+  nontermination-witness validation and differential testing.
+"""
+
+from repro.program.statements import Assign, Assume, Havoc, Statement
+from repro.program.ast import (Block, Cond, Comparison, BoolAnd, BoolOr,
+                               BoolNot, BoolConst, Nondet, Program, SAssign,
+                               SHavoc, SAssume, SIf, SWhile)
+from repro.program.parser import parse_program, ParseError
+from repro.program.cfg import ControlFlowGraph, build_cfg
+from repro.program.interp import Interpreter, RunResult
+
+__all__ = [
+    "Statement", "Assume", "Assign", "Havoc",
+    "Program", "Block", "SAssign", "SHavoc", "SAssume", "SIf", "SWhile",
+    "Cond", "Comparison", "BoolAnd", "BoolOr", "BoolNot", "BoolConst", "Nondet",
+    "parse_program", "ParseError",
+    "ControlFlowGraph", "build_cfg",
+    "Interpreter", "RunResult",
+]

@@ -1,0 +1,221 @@
+"""Structured syntax of the mini imperative language.
+
+A :class:`Program` owns a list of integer variables and a :class:`Block`
+body built from assignments, havocs, assumes, ``while`` loops, and
+``if``/``else`` branches.  Conditions are boolean combinations of linear
+comparisons plus the nondeterministic ``*``; they compile to DNF so each
+control-flow edge carries a pure-conjunction :class:`Assume` statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.logic.atoms import Atom, atom_eq, atom_le, atom_lt
+from repro.logic.linconj import LinConj
+from repro.logic.terms import LinTerm
+
+
+# -- conditions -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Cond:
+    """Base class of boolean conditions."""
+
+    def dnf(self) -> list[LinConj]:
+        """Disjunctive normal form: the condition as a list of conjunctions."""
+        raise NotImplementedError
+
+    def negated_dnf(self) -> list[LinConj]:
+        """DNF of the negation."""
+        raise NotImplementedError
+
+
+_COMPARISON_OPS = ("<", "<=", ">", ">=", "==", "!=")
+
+
+@dataclass(frozen=True)
+class Comparison(Cond):
+    """A linear comparison ``lhs OP rhs``."""
+
+    op: str
+    lhs: LinTerm
+    rhs: LinTerm
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def atoms(self) -> list[Atom]:
+        """The comparison as a conjunction of normalized atoms."""
+        lhs, rhs = self.lhs, self.rhs
+        if self.op == "<":
+            return [atom_lt(lhs, rhs)]
+        if self.op == "<=":
+            return [atom_le(lhs, rhs)]
+        if self.op == ">":
+            return [atom_lt(rhs, lhs)]
+        if self.op == ">=":
+            return [atom_le(rhs, lhs)]
+        if self.op == "==":
+            return [atom_eq(lhs, rhs)]
+        # != is a disjunction; handled in dnf()
+        raise ValueError("'!=' has no conjunction form; use dnf()")
+
+    def dnf(self) -> list[LinConj]:
+        if self.op == "!=":
+            return [LinConj([atom_lt(self.lhs, self.rhs)]),
+                    LinConj([atom_lt(self.rhs, self.lhs)])]
+        return [LinConj(self.atoms())]
+
+    def negated_dnf(self) -> list[LinConj]:
+        negations = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+                     "==": "!=", "!=": "=="}
+        return Comparison(negations[self.op], self.lhs, self.rhs).dnf()
+
+
+@dataclass(frozen=True)
+class BoolConst(Cond):
+    """``true`` or ``false``."""
+
+    value: bool
+
+    def dnf(self) -> list[LinConj]:
+        return [LinConj()] if self.value else []
+
+    def negated_dnf(self) -> list[LinConj]:
+        return [] if self.value else [LinConj()]
+
+
+@dataclass(frozen=True)
+class Nondet(Cond):
+    """The nondeterministic condition ``*``: both branches are possible."""
+
+    def dnf(self) -> list[LinConj]:
+        return [LinConj()]
+
+    def negated_dnf(self) -> list[LinConj]:
+        return [LinConj()]
+
+
+@dataclass(frozen=True)
+class BoolAnd(Cond):
+    parts: tuple[Cond, ...]
+
+    def dnf(self) -> list[LinConj]:
+        result = [LinConj()]
+        for part in self.parts:
+            result = [a.and_(b) for a in result for b in part.dnf()]
+        return [c for c in result if not c.is_unsat()]
+
+    def negated_dnf(self) -> list[LinConj]:
+        return BoolOr(tuple(BoolNot(p) for p in self.parts)).dnf()
+
+
+@dataclass(frozen=True)
+class BoolOr(Cond):
+    parts: tuple[Cond, ...]
+
+    def dnf(self) -> list[LinConj]:
+        out: list[LinConj] = []
+        seen: set[LinConj] = set()
+        for part in self.parts:
+            for d in part.dnf():
+                if d not in seen and not d.is_unsat():
+                    seen.add(d)
+                    out.append(d)
+        return out
+
+    def negated_dnf(self) -> list[LinConj]:
+        return BoolAnd(tuple(BoolNot(p) for p in self.parts)).dnf()
+
+
+@dataclass(frozen=True)
+class BoolNot(Cond):
+    inner: Cond
+
+    def dnf(self) -> list[LinConj]:
+        return self.inner.negated_dnf()
+
+    def negated_dnf(self) -> list[LinConj]:
+        return self.inner.dnf()
+
+
+# -- statements / blocks -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class of structured statements."""
+
+
+@dataclass(frozen=True)
+class SAssign(Stmt):
+    var: str
+    expr: LinTerm
+
+
+@dataclass(frozen=True)
+class SHavoc(Stmt):
+    var: str
+
+
+@dataclass(frozen=True)
+class SAssume(Stmt):
+    """An explicit blocking assumption (paths violating it do not exist)."""
+
+    cond: Cond
+
+
+@dataclass(frozen=True)
+class SWhile(Stmt):
+    cond: Cond
+    body: "Block"
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class SIf(Stmt):
+    cond: Cond
+    then_branch: "Block"
+    else_branch: "Block" = None  # type: ignore[assignment]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.else_branch is None:
+            object.__setattr__(self, "else_branch", Block(()))
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: tuple[Stmt, ...]
+
+    def __init__(self, statements: Iterable[Stmt] = ()):
+        object.__setattr__(self, "statements", tuple(statements))
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A program: named integer variables plus a body block.
+
+    All variables are inputs (arbitrary initial integer values) unless
+    the body assigns them first -- exactly the SV-Comp termination
+    convention where termination must hold for *every* input.
+    """
+
+    name: str
+    variables: tuple[str, ...]
+    body: Block
+
+    def __init__(self, name: str, variables: Sequence[str], body: Block | Iterable[Stmt]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "variables", tuple(variables))
+        if not isinstance(body, Block):
+            body = Block(body)
+        object.__setattr__(self, "body", body)

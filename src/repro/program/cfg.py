@@ -1,0 +1,160 @@
+"""Control-flow graphs and their Buechi-automaton view.
+
+The CFG of a program (Figure 2 of the paper) has one location per
+control point and one edge per atomic statement.  Conditions compile to
+DNF: the true branch gets one ``Assume`` edge per disjunct, the false
+branch one per disjunct of the negation.  ``to_gba`` exports the CFG as
+a GBA over the statement alphabet in which *every* location is
+accepting, so the language is exactly the set of infinite statement
+sequences along CFG paths -- the raw material of the termination
+analysis.  Terminating executions reach the exit location, which has no
+outgoing edges and therefore contributes no infinite words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.automata.gba import GBA
+from repro.logic.linconj import LinConj
+from repro.program.ast import (Block, Cond, Program, SAssign, SAssume, SHavoc,
+                               SIf, SWhile, Stmt)
+from repro.program.statements import Assign, Assume, Havoc, Statement
+
+
+@dataclass(frozen=True)
+class Edge:
+    source: int
+    statement: Statement
+    target: int
+
+
+class ControlFlowGraph:
+    """Locations ``0..n-1`` with statement-labeled edges."""
+
+    def __init__(self, name: str, entry: int, exit_loc: int, edges: Iterable[Edge],
+                 variables: tuple[str, ...]):
+        self.name = name
+        self.entry = entry
+        self.exit = exit_loc
+        self.edges = tuple(edges)
+        self.variables = variables
+        self._out: dict[int, list[Edge]] = {}
+        locations = {entry, exit_loc}
+        for edge in self.edges:
+            self._out.setdefault(edge.source, []).append(edge)
+            locations.add(edge.source)
+            locations.add(edge.target)
+        self.locations = frozenset(locations)
+
+    def out_edges(self, location: int) -> list[Edge]:
+        return self._out.get(location, [])
+
+    def alphabet(self) -> frozenset[Statement]:
+        return frozenset(edge.statement for edge in self.edges)
+
+    def to_gba(self) -> GBA:
+        """The program as a GBA: all locations accepting (k = 1)."""
+        transitions: dict[tuple[int, Statement], set[int]] = {}
+        for edge in self.edges:
+            transitions.setdefault((edge.source, edge.statement),
+                                   set()).add(edge.target)
+        return GBA(self.alphabet(), transitions, [self.entry],
+                   [self.locations], states=self.locations)
+
+    def __repr__(self) -> str:
+        return (f"ControlFlowGraph({self.name!r}, |locs|={len(self.locations)}, "
+                f"|edges|={len(self.edges)})")
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.edges: list[Edge] = []
+        self.counter = 0
+
+    def fresh(self) -> int:
+        self.counter += 1
+        return self.counter
+
+    def edge(self, source: int, statement: Statement, target: int) -> None:
+        self.edges.append(Edge(source, statement, target))
+
+    def assumes(self, source: int, disjuncts: list[LinConj], label: str,
+                target: int) -> None:
+        """One Assume edge per satisfiable disjunct (unsat guards have no
+        executions, so their edges can be dropped outright)."""
+        live = [d for d in disjuncts if not d.is_unsat()]
+        for index, disjunct in enumerate(live):
+            text = label if len(live) == 1 else f"{label}#{index}"
+            self.edge(source, Assume(disjunct, text), target)
+
+    def emit_block(self, block: Block, entry: int, exit_loc: int) -> None:
+        statements = list(block)
+        if not statements:
+            raise ValueError("emit_block requires a nonempty block")
+        current = entry
+        for i, stmt in enumerate(statements):
+            target = exit_loc if i == len(statements) - 1 else self.fresh()
+            self.emit_stmt(stmt, current, target)
+            current = target
+
+    def emit_stmt(self, stmt: Stmt, entry: int, exit_loc: int) -> None:
+        if isinstance(stmt, SAssign):
+            self.edge(entry, Assign(stmt.var, stmt.expr), exit_loc)
+        elif isinstance(stmt, SHavoc):
+            self.edge(entry, Havoc(stmt.var), exit_loc)
+        elif isinstance(stmt, SAssume):
+            label = _label_of(stmt.cond, "assume")
+            self.assumes(entry, stmt.cond.dnf(), label, exit_loc)
+        elif isinstance(stmt, SWhile):
+            label = stmt.label or _label_of(stmt.cond, "cond")
+            if len(stmt.body):
+                body_entry = self.fresh()
+                self.assumes(entry, stmt.cond.dnf(), label, body_entry)
+                self.emit_block(stmt.body, body_entry, entry)
+            else:
+                self.assumes(entry, stmt.cond.dnf(), label, entry)
+            self.assumes(entry, stmt.cond.negated_dnf(), f"!({label})", exit_loc)
+        elif isinstance(stmt, SIf):
+            label = stmt.label or _label_of(stmt.cond, "cond")
+            if len(stmt.then_branch):
+                then_entry = self.fresh()
+                self.assumes(entry, stmt.cond.dnf(), label, then_entry)
+                self.emit_block(stmt.then_branch, then_entry, exit_loc)
+            else:
+                self.assumes(entry, stmt.cond.dnf(), label, exit_loc)
+            if len(stmt.else_branch):
+                else_entry = self.fresh()
+                self.assumes(entry, stmt.cond.negated_dnf(), f"!({label})",
+                             else_entry)
+                self.emit_block(stmt.else_branch, else_entry, exit_loc)
+            else:
+                self.assumes(entry, stmt.cond.negated_dnf(), f"!({label})",
+                             exit_loc)
+        else:
+            raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def _label_of(cond: Cond, fallback: str) -> str:
+    from repro.program.ast import BoolConst, Comparison, Nondet
+    if isinstance(cond, Comparison):
+        return f"{cond.lhs}{cond.op}{cond.rhs}"
+    if isinstance(cond, Nondet):
+        return "*"
+    if isinstance(cond, BoolConst):
+        return "true" if cond.value else "false"
+    return fallback
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Compile a program's AST to its control-flow graph."""
+    builder = _Builder()
+    entry = 0
+    if len(program.body):
+        exit_loc = builder.fresh()
+        builder.emit_block(program.body, entry, exit_loc)
+    else:
+        exit_loc = entry
+    return ControlFlowGraph(program.name, entry, exit_loc, builder.edges,
+                            program.variables)

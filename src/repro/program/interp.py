@@ -1,0 +1,119 @@
+"""Concrete interpreter over the CFG.
+
+Used for three things:
+
+- validating nontermination witnesses (run the lasso and observe the
+  state revisit / monotone drift),
+- differential testing of the strongest-postcondition transformers
+  (a concrete run must stay inside the predicates the analysis infers),
+- executing the example programs.
+
+Nondeterminism (havoc values, branch choice between enabled edges) is
+resolved by a seeded PRNG so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Mapping
+
+from repro.program.cfg import ControlFlowGraph, Edge
+from repro.program.statements import Assume, Havoc, Statement, Valuation
+
+
+@dataclass
+class RunResult:
+    """Outcome of a bounded concrete run."""
+
+    terminated: bool          # reached the exit location
+    steps: int                # statements executed
+    final: Valuation
+    trace: list[Statement] = field(default_factory=list)
+    visited: list[tuple[int, tuple]] = field(default_factory=list)
+
+    @property
+    def exhausted(self) -> bool:
+        """Fuel ran out before reaching the exit (possible nontermination)."""
+        return not self.terminated
+
+
+class Interpreter:
+    """Executes a CFG from a concrete initial valuation."""
+
+    def __init__(self, cfg: ControlFlowGraph, *, seed: int = 0,
+                 havoc_range: tuple[int, int] = (-16, 16)):
+        self._cfg = cfg
+        self._rng = random.Random(seed)
+        self._havoc_range = havoc_range
+
+    def run(self, initial: Mapping[str, int | Fraction], *, fuel: int = 10_000,
+            record_trace: bool = False) -> RunResult:
+        valuation: Valuation = {name: Fraction(0) for name in self._cfg.variables}
+        valuation.update({k: Fraction(v) for k, v in initial.items()})
+        location = self._cfg.entry
+        trace: list[Statement] = []
+        visited: list[tuple[int, tuple]] = []
+        steps = 0
+        while steps < fuel:
+            if location == self._cfg.exit:
+                return RunResult(True, steps, valuation, trace, visited)
+            if record_trace:
+                visited.append((location, tuple(sorted(valuation.items()))))
+            edge = self._pick_edge(location, valuation)
+            if edge is None:
+                # No enabled edge: the path is blocked (all guards false).
+                # A blocked execution is a terminating one.
+                return RunResult(True, steps, valuation, trace, visited)
+            valuation = self._execute(edge.statement, valuation)
+            if record_trace:
+                trace.append(edge.statement)
+            location = edge.target
+            steps += 1
+        return RunResult(False, steps, valuation, trace, visited)
+
+    def _pick_edge(self, location: int, valuation: Valuation) -> Edge | None:
+        enabled = []
+        for edge in self._cfg.out_edges(location):
+            stmt = edge.statement
+            if isinstance(stmt, Assume) and not stmt.cond.evaluate(valuation):
+                continue
+            enabled.append(edge)
+        if not enabled:
+            return None
+        if len(enabled) == 1:
+            return enabled[0]
+        return self._rng.choice(enabled)
+
+    def _execute(self, stmt: Statement, valuation: Valuation) -> Valuation:
+        if isinstance(stmt, Havoc):
+            low, high = self._havoc_range
+            return stmt.execute_with(valuation, self._rng.randint(low, high))
+        result = stmt.execute(valuation)
+        assert result is not None, "picked edge must be enabled"
+        return result
+
+
+def run_word(statements: list[Statement], initial: Mapping[str, int | Fraction],
+             *, havoc_chooser: Callable[[str, int], int] | None = None,
+             ) -> Valuation | None:
+    """Execute a straight-line statement sequence; None if infeasible.
+
+    ``havoc_chooser(var, index)`` supplies havoc values (default 0).
+    Used to check feasibility of sampled lasso paths concretely.
+    """
+    valuation: Valuation = {k: Fraction(v) for k, v in initial.items()}
+    for index, stmt in enumerate(statements):
+        needed = stmt.variables() - valuation.keys()
+        for name in needed:
+            valuation[name] = Fraction(0)
+        if isinstance(stmt, Havoc):
+            value = havoc_chooser(stmt.var, index) if havoc_chooser else 0
+            valuation = stmt.execute_with(valuation, value)
+            continue
+        result = stmt.execute(valuation)
+        if result is None:
+            return None
+        valuation = result
+    return valuation

@@ -1,0 +1,351 @@
+"""Parser for the mini imperative language (indentation-based).
+
+Grammar (Python-like layout)::
+
+    program <name>(<var>, ...):
+        <stmt>*
+
+    stmt      ::=  <var> := <expr>
+                |  <var> ++            (sugar for var := var + 1)
+                |  <var> --            (sugar for var := var - 1)
+                |  havoc <var>
+                |  assume <cond>
+                |  skip
+                |  while <cond>: NEWLINE INDENT <stmt>* DEDENT
+                |  if <cond>: ... [else: ...]
+    cond      ::=  disjunctions/conjunctions/negations of comparisons,
+                   'true', 'false', and the nondeterministic '*'
+    expr      ::=  linear integer expressions over the program variables
+                   (+, -, integer * variable, parentheses)
+
+Example::
+
+    program sort(i, j):
+        while i > 0:
+            j := 1
+            while j < i:
+                j := j + 1
+            i := i - 1
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.logic.terms import LinTerm, const, var
+from repro.program.ast import (Block, BoolAnd, BoolConst, BoolNot, BoolOr,
+                               Comparison, Cond, Nondet, Program, SAssign,
+                               SAssume, SHavoc, SIf, SWhile, Stmt)
+
+
+class ParseError(ValueError):
+    """Syntax error with line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>:=|\+\+|--|==|!=|<=|>=|&&|\|\||[-+*/()<>:,!])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_KEYWORDS = {"program", "while", "if", "else", "havoc", "assume", "skip",
+             "true", "false", "and", "or", "not"}
+
+
+def _tokenize(text: str, line_no: int) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line_no)
+        pos = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+@dataclass
+class _Line:
+    indent: int
+    tokens: list[str]
+    number: int
+
+
+def _layout(source: str) -> list[_Line]:
+    lines: list[_Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        body = raw.split("#", 1)[0].rstrip()
+        if not body.strip():
+            continue
+        stripped = body.lstrip(" ")
+        if "\t" in body[: len(body) - len(stripped)]:
+            raise ParseError("tabs are not allowed in indentation", number)
+        lines.append(_Line(len(body) - len(stripped), _tokenize(stripped, number), number))
+    return lines
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[str], line: int):
+        self.tokens = tokens
+        self.pos = 0
+        self.line = line
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of line", self.line)
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}", self.line)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+# -- expressions ------------------------------------------------------------------
+
+def _parse_expr(ts: _TokenStream) -> LinTerm:
+    result = _parse_mul(ts)
+    while ts.peek() in ("+", "-"):
+        op = ts.next()
+        rhs = _parse_mul(ts)
+        result = result + rhs if op == "+" else result - rhs
+    return result
+
+
+def _parse_mul(ts: _TokenStream) -> LinTerm:
+    result = _parse_atom_expr(ts)
+    while ts.peek() == "*":
+        ts.next()
+        rhs = _parse_atom_expr(ts)
+        if result.is_constant():
+            result = rhs * result.constant
+        elif rhs.is_constant():
+            result = result * rhs.constant
+        else:
+            raise ParseError("nonlinear multiplication is not supported", ts.line)
+    return result
+
+
+def _parse_atom_expr(ts: _TokenStream) -> LinTerm:
+    token = ts.next()
+    if token == "-":
+        return -_parse_atom_expr(ts)
+    if token == "+":
+        return _parse_atom_expr(ts)
+    if token == "(":
+        inner = _parse_expr(ts)
+        ts.expect(")")
+        return inner
+    if token.isdigit():
+        return const(int(token))
+    if re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) and token not in _KEYWORDS:
+        return var(token)
+    raise ParseError(f"expected an expression, got {token!r}", ts.line)
+
+
+# -- conditions ---------------------------------------------------------------------
+
+def _parse_cond(ts: _TokenStream) -> Cond:
+    return _parse_or(ts)
+
+
+def _parse_or(ts: _TokenStream) -> Cond:
+    parts = [_parse_and(ts)]
+    while ts.peek() in ("or", "||"):
+        ts.next()
+        parts.append(_parse_and(ts))
+    return parts[0] if len(parts) == 1 else BoolOr(tuple(parts))
+
+
+def _parse_and(ts: _TokenStream) -> Cond:
+    parts = [_parse_not(ts)]
+    while ts.peek() in ("and", "&&"):
+        ts.next()
+        parts.append(_parse_not(ts))
+    return parts[0] if len(parts) == 1 else BoolAnd(tuple(parts))
+
+
+def _parse_not(ts: _TokenStream) -> Cond:
+    if ts.peek() in ("not", "!"):
+        ts.next()
+        return BoolNot(_parse_not(ts))
+    return _parse_cond_atom(ts)
+
+
+def _parse_cond_atom(ts: _TokenStream) -> Cond:
+    token = ts.peek()
+    if token == "*":
+        ts.next()
+        return Nondet()
+    if token == "true":
+        ts.next()
+        return BoolConst(True)
+    if token == "false":
+        ts.next()
+        return BoolConst(False)
+    if token == "(":
+        # Could be a parenthesized condition or a parenthesized expression
+        # starting a comparison; try condition first with backtracking.
+        saved = ts.pos
+        ts.next()
+        try:
+            inner = _parse_cond(ts)
+            ts.expect(")")
+            if ts.peek() in ("<", "<=", ">", ">=", "==", "!="):
+                raise ParseError("comparison of conditions", ts.line)
+            return inner
+        except ParseError:
+            ts.pos = saved
+    lhs = _parse_expr(ts)
+    op = ts.next()
+    if op not in ("<", "<=", ">", ">=", "==", "!="):
+        raise ParseError(f"expected a comparison operator, got {op!r}", ts.line)
+    rhs = _parse_expr(ts)
+    return Comparison(op, lhs, rhs)
+
+
+# -- statements ----------------------------------------------------------------------
+
+def _parse_block(lines: list[_Line], index: int, indent: int) -> tuple[Block, int]:
+    statements: list[Stmt] = []
+    while index < len(lines) and lines[index].indent == indent:
+        stmt, index = _parse_stmt(lines, index, indent)
+        statements.append(stmt)
+    if index < len(lines) and lines[index].indent > indent:
+        raise ParseError("unexpected indentation", lines[index].number)
+    return Block(statements), index
+
+
+def _cond_text(line: _Line, start: int, end: int) -> str:
+    return " ".join(line.tokens[start:end])
+
+
+def _parse_stmt(lines: list[_Line], index: int, indent: int) -> tuple[Stmt, int]:
+    line = lines[index]
+    ts = _TokenStream(line.tokens, line.number)
+    head = ts.peek()
+
+    if head in ("while", "if"):
+        ts.next()
+        cond_start = ts.pos
+        cond = _parse_cond(ts)
+        cond_end = ts.pos
+        ts.expect(":")
+        if not ts.at_end():
+            raise ParseError("statements after ':' must go on the next line", line.number)
+        if index + 1 >= len(lines) or lines[index + 1].indent <= indent:
+            raise ParseError(f"empty {head} body", line.number)
+        body, next_index = _parse_block(lines, index + 1, lines[index + 1].indent)
+        label = _cond_text(line, cond_start, cond_end)
+        if head == "while":
+            return SWhile(cond, body, label=label), next_index
+        else_block = Block(())
+        if (next_index < len(lines) and lines[next_index].indent == indent
+                and lines[next_index].tokens[:1] == ["else"]):
+            else_line = lines[next_index]
+            if else_line.tokens != ["else", ":"]:
+                raise ParseError("malformed else", else_line.number)
+            if next_index + 1 >= len(lines) or lines[next_index + 1].indent <= indent:
+                raise ParseError("empty else body", else_line.number)
+            else_block, next_index = _parse_block(
+                lines, next_index + 1, lines[next_index + 1].indent)
+        return SIf(cond, body, else_block, label=label), next_index
+
+    if head == "else":
+        raise ParseError("'else' without a matching 'if'", line.number)
+
+    if head == "havoc":
+        ts.next()
+        name = ts.next()
+        _require_name(name, line.number)
+        _end_of_line(ts)
+        return SHavoc(name), index + 1
+
+    if head == "assume":
+        ts.next()
+        cond = _parse_cond(ts)
+        _end_of_line(ts)
+        return SAssume(cond), index + 1
+
+    if head == "skip":
+        ts.next()
+        _end_of_line(ts)
+        return SAssume(BoolConst(True)), index + 1
+
+    # assignment forms
+    name = ts.next()
+    _require_name(name, line.number)
+    op = ts.next()
+    if op == ":=":
+        expr = _parse_expr(ts)
+        _end_of_line(ts)
+        return SAssign(name, expr), index + 1
+    if op == "++":
+        _end_of_line(ts)
+        return SAssign(name, var(name) + 1), index + 1
+    if op == "--":
+        _end_of_line(ts)
+        return SAssign(name, var(name) - 1), index + 1
+    raise ParseError(f"cannot parse statement starting with {name!r} {op!r}", line.number)
+
+
+def _require_name(token: str, line: int) -> None:
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token) or token in _KEYWORDS:
+        raise ParseError(f"expected a variable name, got {token!r}", line)
+
+
+def _end_of_line(ts: _TokenStream) -> None:
+    if not ts.at_end():
+        raise ParseError(f"trailing tokens: {' '.join(ts.tokens[ts.pos:])!r}", ts.line)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program from source text."""
+    lines = _layout(source)
+    if not lines:
+        raise ParseError("empty program", 1)
+    header = lines[0]
+    ts = _TokenStream(header.tokens, header.number)
+    ts.expect("program")
+    name = ts.next()
+    _require_name(name, header.number)
+    ts.expect("(")
+    variables: list[str] = []
+    if ts.peek() != ")":
+        while True:
+            v = ts.next()
+            _require_name(v, header.number)
+            if v in variables:
+                raise ParseError(f"duplicate variable {v!r}", header.number)
+            variables.append(v)
+            if ts.peek() == ",":
+                ts.next()
+            else:
+                break
+    ts.expect(")")
+    ts.expect(":")
+    _end_of_line(ts)
+    if len(lines) == 1:
+        return Program(name, variables, Block(()))
+    body_indent = lines[1].indent
+    if body_indent <= header.indent:
+        raise ParseError("program body must be indented", lines[1].number)
+    body, index = _parse_block(lines, 1, body_indent)
+    if index != len(lines):
+        raise ParseError("inconsistent indentation", lines[index].number)
+    return Program(name, variables, body)

@@ -1,0 +1,28 @@
+"""Lasso termination proving: the "off-the-shelf" prover of Figure 1.
+
+Given an ultimately periodic word ``u v^w`` sampled from the program
+automaton, this package decides what the refinement loop can do with it:
+
+- the stem is infeasible  -> stage-1 material (``M_fin``),
+- the loop is infeasible or a linear ranking function exists
+  (Podelski--Rybalchenko via Farkas' lemma over the exact LP solver)
+  -> certified-module material with a rank certificate (Definition 3.1),
+- the lasso admits a genuine infinite execution (fixed point or
+  monotone-drift witness) -> the program does not terminate,
+- otherwise unknown.
+"""
+
+from repro.ranking.lasso import Lasso, LoopRelation
+from repro.ranking.synthesis import (LassoProof, ProofKind, RankingFunction,
+                                     prove_lasso, synthesize_ranking)
+from repro.ranking.certificate import build_certificate, RankCertificate
+from repro.ranking.nontermination import (NontermWitness,
+                                          find_nontermination_witness)
+
+__all__ = [
+    "Lasso", "LoopRelation",
+    "LassoProof", "ProofKind", "RankingFunction",
+    "prove_lasso", "synthesize_ranking",
+    "build_certificate", "RankCertificate",
+    "NontermWitness", "find_nontermination_witness",
+]

@@ -1,0 +1,136 @@
+"""Nontermination witnesses for lassos.
+
+Two sound, incomplete detectors (in the spirit of the simple
+recurrent-set checks that complement ranking synthesis in
+termination tools):
+
+- **fixed point**: a state ``x`` reachable through the stem with
+  ``R(x, x)`` -- executing the loop can reproduce ``x`` exactly, so the
+  lasso word has an infinite execution;
+- **monotone drift**: for a deterministic translation loop
+  (``x' = x + delta`` under guard ``G``), a reachable state with
+  ``G(x)`` and ``g . delta <= 0`` for every guard row ``g`` keeps the
+  guard true along the whole orbit ``x, x+delta, x+2 delta, ...``.
+
+Witnesses found through the loop relation are exact (rational FM
+underneath); deterministic witnesses are additionally validated by
+concretely executing the loop a few iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.logic.atoms import Rel
+from repro.logic.linconj import LinConj
+from repro.logic.terms import var
+from repro.program.statements import Assign, Assume, Havoc
+from repro.ranking.lasso import Lasso, LoopRelation, primed
+
+
+@dataclass
+class NontermWitness:
+    """A concrete (rational) state witnessing nontermination."""
+
+    state: dict[str, Fraction]
+    kind: str  # "fixed-point" or "monotone-drift"
+
+    def __str__(self) -> str:
+        assignment = ", ".join(f"{k}={v}" for k, v in sorted(self.state.items()))
+        return f"{self.kind} at {{{assignment}}}"
+
+
+def _loop_as_translation(lasso: Lasso) -> tuple[LinConj, dict[str, Fraction]] | None:
+    """Guard + constant drift of a deterministic translation loop.
+
+    Returns ``(guard, delta)`` when every statement is an assume or an
+    assignment of the form ``x := x + const`` (no havoc, no cross-variable
+    updates); guards are expressed over the *pre*-iteration state.
+    """
+    guard_atoms = []
+    shift: dict[str, Fraction] = {}
+    for stmt in lasso.loop:
+        if isinstance(stmt, Assume):
+            # Express the guard over pre-state: undo accumulated shifts.
+            undo = {name: var(name) + off for name, off in shift.items()}
+            for atom in stmt.cond.atoms:
+                guard_atoms.append(atom.substitute(undo))
+        elif isinstance(stmt, Assign):
+            delta = stmt.expr - var(stmt.var)
+            if not delta.is_constant():
+                return None
+            shift[stmt.var] = shift.get(stmt.var, Fraction(0)) + delta.constant
+        elif isinstance(stmt, Havoc):
+            return None
+        else:
+            return None
+    return LinConj(guard_atoms), shift
+
+
+def _drift_keeps_guard(guard: LinConj, delta: dict[str, Fraction]) -> bool:
+    """Does one translation step never weaken any guard atom?"""
+    for atom in guard.atoms:
+        drift = sum((c * delta.get(name, Fraction(0))
+                     for name, c in atom.term.coeffs.items()), Fraction(0))
+        if atom.rel is Rel.EQ:
+            if drift != 0:
+                return False
+        elif drift > 0:  # term increases toward violating `term <= 0`
+            return False
+    return True
+
+
+def _validate_by_execution(lasso: Lasso, state: dict[str, Fraction],
+                           rounds: int = 16) -> bool:
+    """Concretely run the loop from ``state``; nondeterministic loops
+    cannot be validated this way and return True (the FM witness stands)."""
+    from repro.program.interp import run_word
+
+    if any(isinstance(s, Havoc) for s in lasso.loop):
+        return True
+    current = dict(state)
+    seen = {tuple(sorted(current.items()))}
+    for _ in range(rounds):
+        result = run_word(list(lasso.loop), current)
+        if result is None:
+            return False  # the loop blocked: not actually nonterminating here
+        current = {k: result[k] for k in state}
+        key = tuple(sorted(current.items()))
+        if key in seen:
+            return True  # exact state revisit: certain nontermination
+        seen.add(key)
+    return True  # survived all probed rounds
+
+
+def _integral(model: dict[str, Fraction]) -> bool:
+    """Program variables range over the integers; a fractional FM model
+    is not a genuine program state, so such witnesses are rejected."""
+    return all(v.denominator == 1 for v in model.values())
+
+
+def find_nontermination_witness(lasso: Lasso, relation: LoopRelation,
+                                invariant: LinConj) -> NontermWitness | None:
+    """Try the fixed-point and monotone-drift detectors in turn."""
+    reach = lasso.stem_post()
+
+    # Fixed point: reach(x) and R(x, x).
+    identity = {primed(v): var(v) for v in relation.variables}
+    fixed = relation.rel.substitute(identity).and_(reach)
+    model = fixed.find_model()
+    if model is not None:
+        state = {v: model.get(v, Fraction(0)) for v in lasso.variables}
+        if _integral(state) and _validate_by_execution(lasso, state):
+            return NontermWitness(state, "fixed-point")
+
+    # Monotone drift for translation loops.
+    translation = _loop_as_translation(lasso)
+    if translation is not None:
+        guard, delta = translation
+        if _drift_keeps_guard(guard, delta):
+            start = reach.and_(guard).find_model()
+            if start is not None:
+                state = {v: start.get(v, Fraction(0)) for v in lasso.variables}
+                if _integral(state) and _validate_by_execution(lasso, state):
+                    return NontermWitness(state, "monotone-drift")
+    return None

@@ -1,0 +1,135 @@
+"""Tests for BA classification and SDBA normalization."""
+
+import pytest
+
+from repro.automata.classify import (is_complete, is_deterministic,
+                                     is_finite_trace, is_normalized_sdba,
+                                     is_semideterministic, normalize_sdba,
+                                     sdba_parts)
+from repro.automata.gba import GBA, ba
+from repro.automata.words import UPWord, accepts
+import random
+
+SIGMA = frozenset({"a", "b"})
+
+
+def test_is_complete():
+    full = ba(SIGMA, {("q", "a"): {"q"}, ("q", "b"): {"q"}}, ["q"], ["q"])
+    assert is_complete(full)
+    partial = ba(SIGMA, {("q", "a"): {"q"}}, ["q"], ["q"])
+    assert not is_complete(partial)
+
+
+def test_is_deterministic():
+    det = ba(SIGMA, {("q", "a"): {"q"}}, ["q"], ["q"])
+    assert is_deterministic(det)
+    nondet = ba(SIGMA, {("q", "a"): {"q", "r"}, ("r", "a"): {"r"}},
+                ["q"], ["q"])
+    assert not is_deterministic(nondet)
+    two_init = ba(SIGMA, {("q", "a"): {"q"}, ("r", "a"): {"r"}},
+                  ["q", "r"], ["q"])
+    assert not is_deterministic(two_init)
+
+
+def test_is_finite_trace():
+    ft = ba(SIGMA,
+            {("0", "a"): {"1"}, ("1", "b"): {"acc"},
+             ("acc", "a"): {"acc"}, ("acc", "b"): {"acc"}},
+            ["0"], ["acc"])
+    assert is_finite_trace(ft)
+    # accepting sink missing a self-loop symbol: not finite-trace
+    partial_sink = ba(SIGMA, {("0", "a"): {"acc"}, ("acc", "a"): {"acc"}},
+                      ["0"], ["acc"])
+    assert not is_finite_trace(partial_sink)
+    # branching chain: not finite-trace
+    branchy = ba(SIGMA,
+                 {("0", "a"): {"acc"}, ("0", "b"): {"acc"},
+                  ("acc", "a"): {"acc"}, ("acc", "b"): {"acc"}},
+                 ["0"], ["acc"])
+    assert not is_finite_trace(branchy)
+    # an accepting chain head that loops back on itself: not finite-trace
+    loopy = ba(SIGMA, {("0", "a"): {"0"}}, ["0"], ["0"])
+    assert not is_finite_trace(loopy)
+
+
+def sdba_example():
+    return ba(SIGMA,
+              {("n", "a"): {"n", "f"}, ("n", "b"): {"n"},
+               ("f", "a"): {"f"}, ("f", "b"): {"d"},
+               ("d", "a"): {"d"}, ("d", "b"): {"d"}},
+              ["n"], ["f"])
+
+
+def test_sdba_parts():
+    parts = sdba_parts(sdba_example())
+    assert parts is not None
+    q1, q2 = parts
+    assert q1 == {"n"}
+    assert q2 == {"f", "d"}
+
+
+def test_sdba_parts_rejects_nondeterministic_q2():
+    auto = ba(SIGMA,
+              {("f", "a"): {"f", "g"}, ("g", "a"): {"g"}},
+              ["f"], ["f"])
+    assert sdba_parts(auto) is None
+    assert not is_semideterministic(auto)
+
+
+def test_dba_is_sdba():
+    det = ba(SIGMA, {("q", "a"): {"q"}, ("q", "b"): {"q"}}, ["q"], ["q"])
+    assert is_semideterministic(det)
+
+
+def test_is_normalized():
+    assert is_normalized_sdba(sdba_example())
+    # entry into Q2 at a non-accepting state
+    bad = ba(SIGMA,
+             {("n", "a"): {"n", "d"},
+              ("d", "a"): {"f"}, ("d", "b"): {"d"},
+              ("f", "a"): {"f"}, ("f", "b"): {"d"}},
+             ["n"], ["f"])
+    assert is_semideterministic(bad)
+    assert not is_normalized_sdba(bad)
+
+
+def test_normalize_preserves_language():
+    bad = ba(SIGMA,
+             {("n", "a"): {"n", "d"}, ("n", "b"): {"n"},
+              ("d", "a"): {"f"}, ("d", "b"): {"d"},
+              ("f", "a"): {"f"}, ("f", "b"): {"d"}},
+             ["n"], ["f"])
+    fixed = normalize_sdba(bad)
+    assert is_normalized_sdba(fixed)
+    rng = random.Random(5)
+    for _ in range(150):
+        prefix = tuple(rng.choice("ab") for _ in range(rng.randint(0, 4)))
+        period = tuple(rng.choice("ab") for _ in range(rng.randint(1, 4)))
+        word = UPWord(prefix, period)
+        assert accepts(bad, word) == accepts(fixed, word), str(word)
+
+
+def test_normalize_noop_when_already_normalized():
+    auto = sdba_example()
+    assert normalize_sdba(auto) is auto
+
+
+def test_normalize_handles_initial_q2_state():
+    auto = ba(SIGMA,
+              {("d", "a"): {"f"}, ("d", "b"): {"d"},
+               ("f", "a"): {"f"}, ("f", "b"): {"d"}},
+              ["d"], ["f"])
+    fixed = normalize_sdba(auto)
+    assert is_normalized_sdba(fixed)
+    rng = random.Random(6)
+    for _ in range(100):
+        word = UPWord(tuple(rng.choice("ab") for _ in range(rng.randint(0, 3))),
+                      tuple(rng.choice("ab") for _ in range(rng.randint(1, 3))))
+        assert accepts(auto, word) == accepts(fixed, word)
+
+
+def test_normalize_rejects_general_ba():
+    general = ba(SIGMA, {("f", "a"): {"f", "g"}, ("g", "a"): {"g"}},
+                 ["f"], ["f"])
+    with pytest.raises(ValueError):
+        normalize_sdba(general)

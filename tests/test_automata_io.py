@@ -1,0 +1,121 @@
+"""Tests for HOA and DOT serialization."""
+
+import random
+
+import pytest
+
+from repro.automata.gba import GBA, ba
+from repro.automata.io import HOAError, from_hoa, to_dot, to_hoa
+from repro.automata.words import UPWord, accepts
+
+SIGMA = ("a", "b")
+
+
+def random_gba(seed: int, n: int = 4, k: int = 1):
+    rng = random.Random(seed)
+    states = list(range(n))
+    transitions = {}
+    for q in states:
+        for s in SIGMA:
+            targets = {t for t in states if rng.random() < 0.45}
+            if targets:
+                transitions[(q, s)] = targets
+    acc = [[q for q in states if rng.random() < 0.5] for _ in range(k)]
+    return GBA(set(SIGMA), transitions, [0], acc, states=states)
+
+
+def words(count, seed):
+    rng = random.Random(seed)
+    return [UPWord(tuple(rng.choice(SIGMA) for _ in range(rng.randint(0, 3))),
+                   tuple(rng.choice(SIGMA) for _ in range(rng.randint(1, 3))))
+            for _ in range(count)]
+
+
+# -- DOT -----------------------------------------------------------------------
+
+def test_dot_structure():
+    auto = ba(set(SIGMA), {("p", "a"): {"q"}, ("q", "b"): {"p"}},
+              ["p"], ["q"])
+    dot = to_dot(auto)
+    assert dot.startswith("digraph")
+    assert dot.count("doublecircle") == 1
+    assert '->' in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_dot_escapes_quotes():
+    auto = ba({'sy"m'}, {("p", 'sy"m'): {"p"}}, ["p"], ["p"])
+    dot = to_dot(auto)
+    assert '\\"' in dot
+
+
+# -- HOA round-trip -----------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("k", [1, 2])
+def test_hoa_roundtrip_language(seed, k):
+    auto = random_gba(seed, k=k)
+    back = from_hoa(to_hoa(auto))
+    assert back.acceptance_count == auto.acceptance_count
+    assert len(back.states) == len(auto.states)
+    # symbol names become strings, so compare languages over mapped words
+    for word in words(60, seed + 40):
+        mapped = UPWord(tuple(str(s) for s in word.prefix),
+                        tuple(str(s) for s in word.period))
+        assert accepts(back, mapped) == accepts(auto, word), str(word)
+
+
+def test_hoa_headers():
+    auto = ba(set(SIGMA), {("p", "a"): {"q"}, ("q", "b"): {"p"}},
+              ["p"], ["q"])
+    hoa = to_hoa(auto, name="demo")
+    assert "HOA: v1" in hoa
+    assert 'name: "demo"' in hoa
+    assert "States: 2" in hoa
+    assert "acc-name: generalized-Buchi 1" in hoa
+    assert "Acceptance: 1 Inf(0)" in hoa
+    assert "--BODY--" in hoa and "--END--" in hoa
+
+
+def test_hoa_single_symbol_alphabet():
+    auto = ba({"a"}, {("p", "a"): {"p"}}, ["p"], ["p"])
+    back = from_hoa(to_hoa(auto))
+    assert accepts(back, UPWord((), ("a",)))
+
+
+def test_hoa_k_zero():
+    auto = GBA(set(SIGMA), {("p", "a"): {"p"}}, ["p"], [])
+    hoa = to_hoa(auto)
+    assert "Acceptance: 0 t" in hoa
+    back = from_hoa(hoa)
+    assert back.acceptance_count == 0
+    assert accepts(back, UPWord((), ("a",)))
+
+
+def test_hoa_import_errors():
+    with pytest.raises(HOAError):
+        from_hoa("HOA: v1\nStates: 1\n")  # no body
+    with pytest.raises(HOAError):
+        from_hoa("HOA: v1\nAP: 1 \"a\"\n--BODY--\n--END--")  # no States
+    with pytest.raises(HOAError):
+        from_hoa("HOA: v1\nStates: 1\n--BODY--\n--END--")  # no AP
+    bad_label = ("HOA: v1\nStates: 1\nStart: 0\nAP: 2 \"a\" \"b\"\n"
+                 "acc-name: Buchi\nAcceptance: 1 Inf(0)\n--BODY--\n"
+                 "State: 0 {0}\n[0 & 1] 0\n--END--")
+    with pytest.raises(HOAError):
+        from_hoa(bad_label)  # two positive literals: not one-hot
+
+
+def test_hoa_statement_symbols():
+    """Program-statement alphabets serialize through their text."""
+    from repro.program.parser import parse_program
+    from repro.program.cfg import build_cfg
+    gba = build_cfg(parse_program("""
+program p(x):
+    while x > 0:
+        x := x - 1
+""")).to_gba()
+    hoa = to_hoa(gba)
+    back = from_hoa(hoa)
+    assert len(back.states) == len(gba.states)
+    assert {str(s) for s in gba.alphabet} == set(back.alphabet)

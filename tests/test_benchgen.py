@@ -1,0 +1,75 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.automata.classify import is_normalized_sdba, is_semideterministic
+from repro.benchgen import program_suite, random_sdba, sdba_corpus, suite_by_name
+from repro.benchgen.programs import BenchProgram
+from repro.program.cfg import build_cfg
+
+
+def test_suite_is_deterministic_and_parseable():
+    first = program_suite()
+    second = program_suite()
+    assert [p.name for p in first] == [p.name for p in second]
+    for bench in first:
+        program = bench.parse()
+        cfg = build_cfg(program)
+        assert cfg.edges, bench.name
+
+
+def test_suite_names_unique():
+    names = [p.name for p in program_suite()]
+    assert len(names) == len(set(names))
+    assert suite_by_name()["sort"].family == "nested"
+
+
+def test_suite_has_both_verdict_kinds():
+    expected = {p.expected for p in program_suite()}
+    assert "terminating" in expected
+    assert "nonterminating" in expected
+    assert "unknown" in expected
+
+
+def test_suite_family_diversity():
+    families = {p.family for p in program_suite()}
+    assert {"countdown", "nested", "branching", "nondet",
+            "infeasible", "nonterm"} <= families
+
+
+def test_random_sdba_is_normalized():
+    for seed in range(12):
+        auto = random_sdba(seed)
+        assert is_semideterministic(auto)
+        assert is_normalized_sdba(auto)
+
+
+def test_random_sdba_deterministic_in_seed():
+    a = random_sdba(7)
+    b = random_sdba(7)
+    assert a.states == b.states
+    assert a.transitions == b.transitions
+    assert random_sdba(8).transitions != a.transitions or \
+        random_sdba(8).states != a.states
+
+
+def test_random_sdba_sizes():
+    auto = random_sdba(3, n_nondet=2, n_det=3, n_symbols=2)
+    # normalization may duplicate entry states, so only a lower bound
+    assert len(auto.states) >= 5
+    assert len(auto.alphabet) == 2
+
+
+def test_corpus_random_only():
+    corpus = sdba_corpus(harvested=False, n_random=5)
+    assert len(corpus) == 5
+    for auto in corpus:
+        assert is_normalized_sdba(auto)
+
+
+@pytest.mark.slow
+def test_corpus_harvested_nonempty():
+    corpus = sdba_corpus(harvested=True, n_random=0)
+    assert corpus, "the analysis must produce SDBAs on the suite"
+    for auto in corpus[:10]:
+        assert is_normalized_sdba(auto)

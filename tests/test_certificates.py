@@ -1,0 +1,113 @@
+"""Tests for rank-certificate construction (Definition 3.1)."""
+
+from repro.logic.atoms import atom_gt, atom_le
+from repro.logic.linconj import TRUE, conj
+from repro.logic.predicates import OLDRNK, Pred
+from repro.logic.terms import var
+from repro.program.statements import Assign, Assume
+from repro.ranking.certificate import (build_certificate,
+                                       rank_decrease_pred,
+                                       validate_certificate)
+from repro.ranking.lasso import Lasso
+from repro.ranking.synthesis import prove_lasso
+
+x, w = var("x"), var("w")
+GUARD = Assume(conj(atom_gt(x, 0)), "x>0")
+DEC = Assign("x", x - 1)
+
+
+def certify(stem, loop):
+    lasso = Lasso(stem, loop)
+    proof = prove_lasso(lasso)
+    assert proof.is_terminating, proof.kind
+    cert = build_certificate(proof)
+    problems = validate_certificate(cert, proof.lasso.stem, proof.lasso.loop)
+    assert problems == [], problems
+    return proof, cert
+
+
+def test_simple_countdown_certificate():
+    proof, cert = certify([GUARD], [GUARD, DEC])
+    assert cert.ranking == x
+    # initial predicate is exactly oldrnk = infinity
+    init = cert.stem_preds[0]
+    assert init.fin_disjuncts == ()
+    assert Pred.of_inf(TRUE).entails(init)
+    # loop-head predicate forces the integer decrease
+    head = cert.head
+    assert head.entails(Pred((TRUE,), (TRUE.and_(
+        [atom_le(cert.ranking, var(OLDRNK) - 1)]),)))
+
+
+def test_invariant_free_certificate_merges_stem():
+    proof, cert = certify([GUARD, GUARD, GUARD], [GUARD, DEC])
+    assert not proof.needs_invariant
+    # all proper stem predicates are the bare oldrnk = infinity
+    stem_preds = cert.stem_preds[:-1]
+    assert all(p == Pred.of_inf(TRUE) for p in stem_preds)
+
+
+def test_template_loop_predicates_used():
+    # inner loop of the paper's sort: f = i - j, template q4 shape
+    i, j = var("i"), var("j")
+    guard = Assume(conj(atom_gt(i, j)), "j<i")
+    inc = Assign("j", j + 1)
+    proof, cert = certify([guard], [guard, inc])
+    assert cert.ranking == i - j
+    # the mid-loop predicate should be a template (mentions only the
+    # rank bounds, not the exact postcondition equalities)
+    mid = cert.loop_preds[1]
+    (fin,) = mid.fin_disjuncts
+    assert fin.entails_atom(atom_le(0, i - j))
+    assert OLDRNK in fin.variables()
+
+
+def test_stem_infeasible_certificate():
+    zero = Assign("x", var("none") * 0)
+    lasso = Lasso([zero, GUARD], [GUARD, DEC])
+    proof = prove_lasso(lasso)
+    cert = build_certificate(proof)
+    problems = validate_certificate(cert, proof.lasso.stem, proof.lasso.loop)
+    assert problems == []
+    # everything from the infeasibility point on is bottom
+    assert cert.stem_preds[2].is_unsat()
+
+
+def test_validator_catches_bad_certificates():
+    proof, cert = certify([GUARD], [GUARD, DEC])
+    # sabotage: claim the loop keeps x unchanged
+    bad = cert.loop_preds.copy()
+    bad[1] = Pred.of_fin(conj(atom_gt(x, 99)))
+    from repro.ranking.certificate import RankCertificate
+    broken = RankCertificate(cert.stem_preds, bad, cert.ranking)
+    problems = validate_certificate(broken, proof.lasso.stem, proof.lasso.loop)
+    assert problems
+
+
+def test_validator_checks_initial_shape():
+    proof, cert = certify([GUARD], [GUARD, DEC])
+    from repro.ranking.certificate import RankCertificate
+    bad_init = [Pred.of_fin(TRUE)] + cert.stem_preds[1:]
+    broken = RankCertificate(bad_init, cert.loop_preds, cert.ranking)
+    problems = validate_certificate(broken, proof.lasso.stem, proof.lasso.loop)
+    assert any("oldrnk" in p for p in problems)
+
+
+def test_rank_decrease_pred_shape():
+    pred = rank_decrease_pred(x, conj(atom_gt(x, -10)))
+    (fin,) = pred.fin_disjuncts
+    assert fin.entails_atom(atom_le(x, var(OLDRNK) - 1))
+    assert fin.entails_atom(atom_le(0, x))
+    (inf,) = pred.inf_disjuncts
+    assert inf.entails_atom(atom_gt(x, -10))
+
+
+def test_certificate_roundtrip_on_various_lassos():
+    cases = [
+        ([GUARD], [GUARD, Assign("x", x - 3)]),
+        ([GUARD, Assign("w", x)], [GUARD, Assign("x", x - 1), Assign("w", w + 1)]),
+        ([Assume(conj(atom_gt(w, 0)), "w>0")],
+         [Assume(conj(atom_gt(w, 0)), "w>0"), Assign("w", w - 1), GUARD]),
+    ]
+    for stem, loop in cases:
+        certify(stem, loop)

@@ -1,0 +1,94 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+TERMINATING = """
+program t(x):
+    while x > 0:
+        x := x - 1
+"""
+
+DIVERGING = """
+program u(x):
+    while x > 0:
+        x := x + 1
+"""
+
+
+def run_cli(argv, stdin: str | None = None, capsys=None):
+    if stdin is not None:
+        old = sys.stdin
+        sys.stdin = io.StringIO(stdin)
+        try:
+            return main(argv)
+        finally:
+            sys.stdin = old
+    return main(argv)
+
+
+def test_cli_terminating_file(tmp_path, capsys):
+    path = tmp_path / "prog.t"
+    path.write_text(TERMINATING)
+    code = main([str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "TERMINATING" in out
+    assert "certified modules" in out
+    assert "f(v)" in out
+
+
+def test_cli_nonterminating_stdin(capsys):
+    code = run_cli(["-"], stdin=DIVERGING)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "NONTERMINATING" in out
+    assert "witness" in out
+
+
+def test_cli_quiet(tmp_path, capsys):
+    path = tmp_path / "prog.t"
+    path.write_text(TERMINATING)
+    assert main(["--quiet", str(path)]) == 0
+    out = capsys.readouterr().out.strip()
+    assert out == "TERMINATING"
+
+
+def test_cli_unknown_exit_code(tmp_path, capsys):
+    path = tmp_path / "prog.t"
+    path.write_text("""
+program m(x, y):
+    while x > 0:
+        x := x + y
+        y := y - 1
+""")
+    assert main(["--quiet", str(path)]) == 1
+    assert "UNKNOWN" in capsys.readouterr().out
+
+
+def test_cli_parse_error(tmp_path, capsys):
+    path = tmp_path / "prog.t"
+    path.write_text("program broken(x)\n  oops")
+    assert main([str(path)]) == 2
+    assert "parse error" in capsys.readouterr().err
+
+
+def test_cli_configuration_flags(tmp_path, capsys):
+    path = tmp_path / "prog.t"
+    path.write_text(TERMINATING)
+    code = main(["--single-stage", "--no-lazy", "--no-subsumption",
+                 "--timeout", "20", str(path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "single+ncsb-original" in out
+
+
+def test_cli_sequence_flag(tmp_path, capsys):
+    path = tmp_path / "prog.t"
+    path.write_text(TERMINATING)
+    assert main(["--sequence", "iii", str(path)]) == 0
+    assert "multi(iii)" in capsys.readouterr().out

@@ -1,0 +1,193 @@
+"""Tests for Algorithm 1 (remove_useless) and lasso extraction.
+
+The modified Gaiser--Schwoon algorithm is cross-checked against a naive
+Tarjan-based reference on random GBAs (hypothesis).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.emptiness import (EmptyOracle, ExplorationLimit,
+                                      find_accepting_lasso, is_empty,
+                                      is_empty_naive, remove_useless)
+from repro.automata.gba import GBA, ba
+from repro.automata.words import UPWord, accepts
+
+SIGMA = ("a", "b")
+
+
+def test_empty_automaton():
+    auto = ba(set(SIGMA), {("q", "a"): {"r"}}, ["q"], [])  # BA, empty F
+    useful, stats = remove_useless(auto)
+    assert not useful.initial_states()
+    assert is_empty(auto)
+    assert stats.useless_states == 2
+
+
+def test_nonempty_keeps_only_useful():
+    auto = ba(set(SIGMA),
+              {("q", "a"): {"acc", "dead"},
+               ("acc", "a"): {"acc"},
+               ("dead", "b"): {"dead2"}},
+              ["q"], ["acc"])
+    useful, stats = remove_useless(auto)
+    assert useful.states == {"q", "acc"}
+    assert stats.useful_states == 2
+    assert stats.useless_states == 2
+    assert not is_empty(auto)
+
+
+def test_language_preserved():
+    auto = ba(set(SIGMA),
+              {("q", "a"): {"acc"}, ("q", "b"): {"dead"},
+               ("acc", "a"): {"acc"}, ("acc", "b"): {"dead"},
+               ("dead", "a"): {"dead"}},
+              ["q"], ["acc"])
+    useful, _ = remove_useless(auto)
+    for word in [UPWord((), ("a",)), UPWord((), ("b",)),
+                 UPWord(("a", "a"), ("a",)), UPWord(("b",), ("a",))]:
+        assert accepts(useful, word) == accepts(auto, word), str(word)
+
+
+def test_generalized_conditions_must_all_recur():
+    # SCC covering only one of two conditions is useless.
+    auto = GBA(set(SIGMA),
+               {("q", "a"): {"q"}, ("q", "b"): {"r"},
+                ("r", "a"): {"r"}},
+               ["q"], [["q"], ["r"]])
+    assert is_empty(auto)
+    # joined SCC covering both is useful
+    auto2 = GBA(set(SIGMA),
+                {("q", "a"): {"r"}, ("r", "b"): {"q"}},
+                ["q"], [["q"], ["r"]])
+    assert not is_empty(auto2)
+
+
+def test_state_limit():
+    auto = ba(set(SIGMA),
+              {(i, "a"): {i + 1} for i in range(100)} | {(100, "a"): {100}},
+              [0], [100])
+    with pytest.raises(ExplorationLimit):
+        remove_useless(auto, state_limit=10)
+
+
+def test_oracle_prepopulated():
+    auto = ba(set(SIGMA),
+              {("q", "a"): {"acc"}, ("acc", "a"): {"acc"}},
+              ["q"], ["acc"])
+    oracle = EmptyOracle()
+    oracle.add("acc")  # pretend acc is known-empty
+    useful, stats = remove_useless(auto, oracle=oracle)
+    # the oracle verdict is trusted: acc skipped, q has no other path
+    assert not useful.initial_states()
+    assert stats.subsumption_hits >= 1
+
+
+def test_on_transition_callback():
+    auto = ba(set(SIGMA), {("q", "a"): {"q"}}, ["q"], ["q"])
+    seen = []
+    remove_useless(auto, on_transition=lambda s, a, t: seen.append((s, a, t)))
+    assert ("q", "a", "q") in seen
+
+
+def test_deep_chain_no_recursion_error():
+    n = 50_000
+    transitions = {(i, "a"): {i + 1} for i in range(n)}
+    transitions[(n, "a")] = {n}
+    auto = ba({"a"}, transitions, [0], [n])
+    useful, _ = remove_useless(auto)
+    assert len(useful.states) == n + 1
+
+
+# -- lasso extraction ---------------------------------------------------------------
+
+def test_find_accepting_lasso_none_when_empty():
+    auto = ba(set(SIGMA), {("q", "a"): {"q"}}, ["q"], [])
+    assert find_accepting_lasso(auto) is None
+
+
+def test_find_accepting_lasso_word_is_accepted():
+    auto = ba(set(SIGMA),
+              {("q", "b"): {"q"}, ("q", "a"): {"acc"},
+               ("acc", "a"): {"acc"}, ("acc", "b"): {"q"}},
+              ["q"], ["acc"])
+    word = find_accepting_lasso(auto)
+    assert word is not None
+    assert accepts(auto, word)
+
+
+def test_find_accepting_lasso_generalized():
+    auto = GBA(set(SIGMA),
+               {("q", "a"): {"r"}, ("r", "b"): {"q"}},
+               ["q"], [["q"], ["r"]])
+    word = find_accepting_lasso(auto)
+    assert word is not None
+    assert accepts(auto, word)
+    assert len(word.period) >= 2  # must visit both conditions
+
+
+def test_find_accepting_lasso_self_loop():
+    auto = ba(set(SIGMA), {("q", "a"): {"q"}}, ["q"], ["q"])
+    word = find_accepting_lasso(auto)
+    assert word == UPWord((), ("a",))
+
+
+# -- randomized cross-check -----------------------------------------------------------
+
+@st.composite
+def random_gbas(draw):
+    n = draw(st.integers(1, 6))
+    k = draw(st.integers(0, 2))
+    states = list(range(n))
+    transitions = {}
+    for q in states:
+        for s in SIGMA:
+            targets = {t for t in states if draw(st.booleans())}
+            if targets:
+                transitions[(q, s)] = targets
+    acc_sets = [[q for q in states if draw(st.booleans())] for _ in range(k)]
+    return GBA(set(SIGMA), transitions, [0], acc_sets, states=states)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_gbas())
+def test_algorithm1_agrees_with_naive(auto):
+    assert is_empty(auto) == is_empty_naive(auto)
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_gbas())
+def test_useful_states_have_nonempty_language(auto):
+    useful, _ = remove_useless(auto)
+    for q in useful.states:
+        # a useful state must have a nonempty language in the original
+        assert not is_empty_naive(auto.with_initial([q])), f"state {q}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_gbas())
+def test_useless_states_have_empty_language(auto):
+    useful, _ = remove_useless(auto)
+    reachable = set()
+    stack = list(auto.initial_states())
+    while stack:
+        q = stack.pop()
+        if q in reachable:
+            continue
+        reachable.add(q)
+        stack.extend(auto.post(q))
+    for q in reachable - useful.states:
+        assert is_empty_naive(auto.with_initial([q])), f"state {q}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_gbas())
+def test_extracted_lasso_is_accepted(auto):
+    word = find_accepting_lasso(auto)
+    if word is None:
+        assert is_empty_naive(auto)
+    else:
+        assert accepts(auto, word)

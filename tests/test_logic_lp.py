@@ -1,0 +1,146 @@
+"""Tests for the exact rational simplex, cross-checked against scipy."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.logic.lp import LinearProgram, LPStatus
+
+
+def test_simple_maximize():
+    lp = LinearProgram()
+    x, y = lp.new_var("x"), lp.new_var("y")
+    lp.add_le({x: 1, y: 2}, 4)
+    lp.add_le({x: 3, y: 1}, 6)
+    r = lp.maximize({x: 1, y: 1})
+    assert r.status is LPStatus.OPTIMAL
+    assert r.objective == Fraction(14, 5)
+
+
+def test_simple_minimize():
+    lp = LinearProgram()
+    z = lp.new_var("z", lower=None)
+    lp.add_ge({z: 1}, -10)
+    lp.add_le({z: 1}, -3)
+    r = lp.minimize({z: 1})
+    assert r.status is LPStatus.OPTIMAL
+    assert r.objective == -10
+    assert r.assignment[z] == -10
+
+
+def test_infeasible():
+    lp = LinearProgram()
+    w = lp.new_var("w")
+    lp.add_ge({w: 1}, 5)
+    lp.add_le({w: 1}, 2)
+    assert lp.check_feasible().status is LPStatus.INFEASIBLE
+
+
+def test_unbounded():
+    lp = LinearProgram()
+    u = lp.new_var("u")
+    assert lp.maximize({u: 1}).status is LPStatus.UNBOUNDED
+
+
+def test_equality_constraints():
+    lp = LinearProgram()
+    x, y = lp.new_var("x"), lp.new_var("y")
+    lp.add_eq({x: 1, y: 1}, 10)
+    lp.add_le({x: 1}, 4)
+    r = lp.maximize({x: 2, y: 1})
+    assert r.status is LPStatus.OPTIMAL
+    assert r.objective == 14  # x=4, y=6
+    assert r.assignment == {x: 4, y: 6}
+
+
+def test_free_variable_split():
+    lp = LinearProgram()
+    x = lp.new_var("x", lower=None)
+    lp.add_eq({x: 1}, -7)
+    r = lp.check_feasible()
+    assert r.status is LPStatus.OPTIMAL
+    assert r.assignment[x] == -7
+
+
+def test_degenerate_no_cycling():
+    # Classic degenerate LP; Bland's rule must terminate.
+    lp = LinearProgram()
+    x1, x2, x3 = (lp.new_var() for _ in range(3))
+    lp.add_le({x1: Fraction(1, 4), x2: -8, x3: -1}, 0)
+    lp.add_le({x1: Fraction(1, 2), x2: -12, x3: -Fraction(1, 2)}, 0)
+    lp.add_le({x3: 1}, 1)
+    r = lp.maximize({x1: Fraction(3, 4), x2: -20, x3: Fraction(1, 2)})
+    assert r.status is LPStatus.OPTIMAL
+    assert r.objective == Fraction(5, 4)
+
+
+def test_feasibility_with_zero_objective():
+    lp = LinearProgram()
+    x = lp.new_var("x")
+    lp.add_ge({x: 1}, 3)
+    r = lp.check_feasible()
+    assert r.status is LPStatus.OPTIMAL
+    assert r.assignment[x] >= 3
+
+
+def test_rejects_unknown_variable():
+    lp = LinearProgram()
+    with pytest.raises(IndexError):
+        lp.add_le({3: 1}, 0)
+
+
+def test_rejects_general_lower_bound():
+    lp = LinearProgram()
+    with pytest.raises(ValueError):
+        lp.new_var(lower=5)
+
+
+@st.composite
+def random_lps(draw):
+    n_vars = draw(st.integers(1, 3))
+    n_cons = draw(st.integers(1, 4))
+    cons = []
+    for _ in range(n_cons):
+        coeffs = [draw(st.integers(-3, 3)) for _ in range(n_vars)]
+        rhs = draw(st.integers(-5, 5))
+        rel = draw(st.sampled_from(["<=", ">="]))
+        cons.append((coeffs, rel, rhs))
+    obj = [draw(st.integers(-3, 3)) for _ in range(n_vars)]
+    return n_vars, cons, obj
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_lps())
+def test_agrees_with_scipy(problem):
+    n_vars, cons, obj = problem
+    lp = LinearProgram()
+    xs = [lp.new_var() for _ in range(n_vars)]
+    a_ub, b_ub = [], []
+    for coeffs, rel, rhs in cons:
+        mapping = {xs[i]: c for i, c in enumerate(coeffs)}
+        if rel == "<=":
+            lp.add_le(mapping, rhs)
+            a_ub.append(coeffs)
+            b_ub.append(rhs)
+        else:
+            lp.add_ge(mapping, rhs)
+            a_ub.append([-c for c in coeffs])
+            b_ub.append(-rhs)
+    ours = lp.maximize({xs[i]: c for i, c in enumerate(obj)})
+    # presolve off: with it on, HiGHS may report unbounded problems as
+    # status 2 ("infeasible or unbounded" is not disambiguated)
+    ref = linprog(c=[-c for c in obj], A_ub=np.array(a_ub, dtype=float),
+                  b_ub=np.array(b_ub, dtype=float),
+                  bounds=[(0, None)] * n_vars, method="highs",
+                  options={"presolve": False})
+    if ref.status == 0:
+        assert ours.status is LPStatus.OPTIMAL
+        assert abs(float(ours.objective) - (-ref.fun)) < 1e-6
+    elif ref.status == 2:
+        assert ours.status is LPStatus.INFEASIBLE
+    elif ref.status == 3:
+        assert ours.status is LPStatus.UNBOUNDED

@@ -1,0 +1,237 @@
+"""Tests for atoms, conjunctions and the Fourier--Motzkin engine.
+
+The decision procedure is cross-checked against brute-force enumeration
+over a small integer grid (hypothesis generates random conjunctions).
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import (Atom, Rel, atom_eq, atom_ge, atom_gt, atom_le,
+                               atom_lt, negate_atom)
+from repro.logic.fourier_motzkin import eliminate, find_model, satisfiable
+from repro.logic.linconj import FALSE, TRUE, LinConj, conj
+from repro.logic.terms import term, var
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+# -- atoms -------------------------------------------------------------------
+
+def test_atom_normalization():
+    a = atom_le(x + 1, y)
+    assert a.rel is Rel.LE
+    assert a.term == x - y + 1
+
+
+def test_atom_trivial():
+    assert atom_le(0, 1).is_trivially_true()
+    assert atom_lt(1, 0).is_trivially_false()
+    assert atom_eq(term({}, 2), 2).is_trivially_true()
+    assert not atom_le(x, 0).is_trivially_true()
+
+
+def test_atom_negate():
+    a = atom_le(x, 0)
+    n = a.negate()
+    assert n.rel is Rel.LT and n.term == -x
+    with pytest.raises(ValueError):
+        atom_eq(x, 0).negate()
+    branches = negate_atom(atom_eq(x, 0))
+    assert len(branches) == 2
+
+
+def test_atom_evaluate():
+    assert atom_lt(x, y).evaluate({"x": 1, "y": 2})
+    assert not atom_lt(x, y).evaluate({"x": 2, "y": 2})
+    assert atom_le(x, y).evaluate({"x": 2, "y": 2})
+
+
+def test_integral_tightening():
+    a = atom_lt(x, 3).tighten_integral()       # x < 3  ->  x <= 2
+    assert a.rel is Rel.LE and a.term == x - 2
+    b = atom_le(x, Fraction(5, 2)).tighten_integral()  # x <= 5/2 -> x <= 2
+    assert b.term == x - 2
+    # fractional coefficients are scaled first: x/2 < 1 == x < 2 -> x <= 1
+    c = atom_lt(Fraction(1, 2) * x, 1).tighten_integral()
+    assert c.rel is Rel.LE and c.term == x - 1
+    # scaled gcd reduction: 2x <= 5 -> x <= 5/2 -> x <= 2
+    d = atom_le(2 * x, 5).tighten_integral()
+    assert d.term == x - 2
+    # integral equality with fractional constant is unsatisfiable
+    e = atom_eq(2 * x, 5).tighten_integral()
+    assert e.is_trivially_false()
+
+
+# -- conjunctions --------------------------------------------------------------
+
+def test_conj_basics():
+    c = conj(atom_gt(x, 0), atom_lt(x, 5))
+    assert c.is_sat()
+    assert c.entails_atom(atom_le(x, 10))
+    assert not c.entails_atom(atom_le(x, 3))
+    assert TRUE.is_sat() and TRUE.is_true()
+    assert FALSE.is_unsat()
+
+
+def test_conj_dedupes_and_drops_trivial():
+    c = conj(atom_le(x, 1), atom_le(x, 1), atom_le(0, 5))
+    assert len(c.atoms) == 1
+
+
+def test_strict_cycle_unsat():
+    assert conj(atom_lt(x, y), atom_lt(y, x)).is_unsat()
+    assert conj(atom_le(x, y), atom_le(y, x), atom_eq(x, y)).is_sat()
+
+
+def test_equality_pivoting():
+    c = conj(atom_eq(x, y + 1), atom_eq(y, 4), atom_le(x, 5))
+    assert c.is_sat()
+    assert c.entails_atom(atom_eq(x, 5))
+    d = c.and_(atom_le(x, 4))
+    assert d.is_unsat()
+
+
+def test_integer_tightening_gives_int_unsat():
+    # 0 < x < 1 has no integer solution; tightening finds the conflict.
+    c = conj(atom_gt(x, 0), atom_lt(x, 1))
+    assert c.is_unsat()
+
+
+def test_rational_mode_without_tightening():
+    assert satisfiable([atom_gt(x, 0).tighten_integral()]) is True
+    assert satisfiable([atom_gt(x, 0), atom_lt(x, 1)], tighten=False) is True
+
+
+def test_projection():
+    c = conj(atom_le(x, y), atom_le(y, z))
+    p = c.project_away(["y"])
+    assert p.entails_atom(atom_le(x, z))
+    assert not p.entails_atom(atom_le(z, x))
+    assert "y" not in p.variables()
+
+
+def test_projection_of_unsat_is_false():
+    c = conj(atom_lt(x, y), atom_lt(y, x))
+    assert c.project_away(["y"]).is_unsat()
+
+
+def test_entails_conjunction():
+    c = conj(atom_eq(x, 2), atom_eq(y, 3))
+    assert c.entails(conj(atom_le(x, y), atom_ge(x + y, 5)))
+    assert not c.entails(conj(atom_le(y, x)))
+
+
+def test_unsat_entails_everything():
+    assert FALSE.entails(conj(atom_eq(x, 99)))
+
+
+def test_equivalent():
+    a = conj(atom_le(x, 3), atom_le(3, x))
+    b = conj(atom_eq(x, 3))
+    assert a.equivalent(b)
+
+
+def test_find_model_prefers_integers():
+    m = conj(atom_gt(x, Fraction(1, 2)), atom_lt(x, 10)).find_model()
+    assert m is not None and m["x"].denominator == 1
+
+
+def test_find_model_prefer_hint():
+    m = conj(atom_ge(x, 0), atom_le(x, 100)).find_model(prefer={"x": Fraction(42)})
+    assert m is not None and m["x"] == 42
+
+
+def test_find_model_none_when_unsat():
+    assert conj(atom_lt(x, x)).find_model() is None
+
+
+def test_substitute_and_rename():
+    c = conj(atom_le(x, y))
+    assert c.substitute({"x": y}).is_sat()
+    r = c.rename({"x": "a", "y": "b"})
+    assert r.variables() == {"a", "b"}
+
+
+def test_eliminate_equalities_only():
+    atoms = [atom_eq(x, y), atom_eq(y, z), atom_lt(z, 0)]
+    remaining = eliminate(atoms, ["x", "y"])
+    assert remaining is not None
+    assert satisfiable(remaining)
+
+
+# -- brute-force cross-check ----------------------------------------------------
+
+GRID = range(-3, 4)
+
+
+def brute_force_sat(atoms, names):
+    """Enumerate the integer grid; True iff some point satisfies all atoms."""
+    names = sorted(names)
+
+    def rec(i, valuation):
+        if i == len(names):
+            return all(a.evaluate(valuation) for a in atoms)
+        return any(rec(i + 1, {**valuation, names[i]: v}) for v in GRID)
+
+    return rec(0, {})
+
+
+@st.composite
+def small_atoms(draw):
+    names = ["x", "y"]
+    coeffs = {n: draw(st.integers(-2, 2)) for n in names}
+    constant = draw(st.integers(-3, 3))
+    rel = draw(st.sampled_from([Rel.LE, Rel.LT, Rel.EQ]))
+    return Atom(term(coeffs, constant), rel)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(small_atoms(), min_size=1, max_size=4))
+def test_sat_agrees_with_bruteforce_on_integer_grid(atoms):
+    names = {n for a in atoms for n in a.variables()}
+    fm_sat = satisfiable(atoms, tighten=False)
+    grid_sat = brute_force_sat(atoms, names)
+    # Rational satisfiability over-approximates integer-grid satisfiability.
+    if grid_sat:
+        assert fm_sat, f"grid-sat but FM-unsat: {[str(a) for a in atoms]}"
+    if not fm_sat:
+        assert not grid_sat
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(small_atoms(), min_size=1, max_size=4))
+def test_find_model_satisfies_input(atoms):
+    model = find_model(atoms)
+    if model is not None:
+        full = {n: model.get(n, Fraction(0))
+                for a in atoms for n in a.variables()}
+        assert all(a.evaluate(full) for a in atoms)
+    else:
+        assert not satisfiable(atoms)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(small_atoms(), min_size=1, max_size=3), small_atoms())
+def test_entailment_respected_by_models(atoms, goal):
+    c = LinConj(atoms)
+    if c.entails_atom(goal):
+        model = c.find_model()
+        # entailment is decided with integer tightening, so only integer
+        # models are bound by it (a fractional model may escape a goal
+        # that holds for every *integer* solution)
+        if model is not None and all(v.denominator == 1 for v in model.values()):
+            full = {n: model.get(n, Fraction(0))
+                    for n in goal.variables() | c.variables()}
+            assert goal.evaluate(full)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(small_atoms(), min_size=1, max_size=3))
+def test_projection_preserves_satisfiability(atoms):
+    c = LinConj(atoms)
+    p = c.project_away(["x"])
+    assert p.is_sat() == c.is_sat()

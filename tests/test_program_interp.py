@@ -1,0 +1,115 @@
+"""Tests for the concrete interpreter."""
+
+from fractions import Fraction
+
+from repro.program.cfg import build_cfg
+from repro.program.interp import Interpreter, run_word
+from repro.program.parser import parse_program
+from repro.program.statements import Assign, Assume, Havoc
+from repro.logic.linconj import conj
+from repro.logic.atoms import atom_gt
+from repro.logic.terms import var
+
+
+def make(source: str):
+    return build_cfg(parse_program(source))
+
+
+def test_terminating_run():
+    cfg = make("""
+program p(x):
+    while x > 0:
+        x := x - 1
+""")
+    result = Interpreter(cfg).run({"x": 5})
+    assert result.terminated
+    assert result.final["x"] == 0
+    assert result.steps == 11  # 5 iterations x 2 + final guard
+
+
+def test_nonterminating_run_exhausts_fuel():
+    cfg = make("""
+program p(x):
+    while x > 0:
+        x := x + 1
+""")
+    result = Interpreter(cfg).run({"x": 1}, fuel=50)
+    assert result.exhausted
+    assert result.steps == 50
+
+
+def test_unmentioned_variables_default_to_zero():
+    cfg = make("""
+program p(x, y):
+    y := x + y
+""")
+    result = Interpreter(cfg).run({"x": 3})
+    assert result.final["y"] == 3
+
+
+def test_blocked_execution_counts_as_termination():
+    cfg = make("""
+program p(x):
+    assume x > 10
+    x := x - 1
+""")
+    result = Interpreter(cfg).run({"x": 0})
+    assert result.terminated
+    assert result.steps == 0
+
+
+def test_trace_recording():
+    cfg = make("""
+program p(x):
+    x := x + 1
+    x := x + 1
+""")
+    result = Interpreter(cfg).run({"x": 0}, record_trace=True)
+    assert len(result.trace) == 2
+    assert all(isinstance(s, Assign) for s in result.trace)
+    assert len(result.visited) == 2
+
+
+def test_interpreter_deterministic_under_seed():
+    cfg = make("""
+program p(x, y):
+    while x > 0:
+        if *:
+            x := x - 1
+        else:
+            havoc y
+            assume y > 0
+            x := x - y
+""")
+    a = Interpreter(cfg, seed=3).run({"x": 40}, fuel=4000)
+    b = Interpreter(cfg, seed=3).run({"x": 40}, fuel=4000)
+    assert a.steps == b.steps
+    assert a.final == b.final
+
+
+def test_run_word_feasible():
+    x = var("x")
+    word = [Assume(conj(atom_gt(x, 0))), Assign("x", x - 1)]
+    out = run_word(word, {"x": 2})
+    assert out is not None and out["x"] == 1
+
+
+def test_run_word_infeasible():
+    x = var("x")
+    word = [Assume(conj(atom_gt(x, 0)))]
+    assert run_word(word, {"x": 0}) is None
+
+
+def test_run_word_havoc_chooser():
+    x = var("x")
+    word = [Havoc("x"), Assume(conj(atom_gt(x, 5)))]
+    assert run_word(word, {"x": 0}) is None  # default havoc value 0
+    out = run_word(word, {"x": 0}, havoc_chooser=lambda v, i: 9)
+    assert out is not None and out["x"] == 9
+
+
+def test_run_word_fills_missing_variables():
+    y = var("y")
+    word = [Assign("z", y + 1)]
+    out = run_word(word, {})
+    assert out["z"] == 1

@@ -1,0 +1,141 @@
+"""Tests for atomic statements: relational semantics and postconditions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import atom_eq, atom_ge, atom_gt, atom_le, atom_lt
+from repro.logic.linconj import TRUE, conj
+from repro.logic.predicates import OLDRNK, Pred
+from repro.logic.terms import var
+from repro.program.statements import (Assign, Assume, Havoc,
+                                      NondeterminismError, hoare_valid)
+
+x, y = var("x"), var("y")
+
+
+def test_assume_execute():
+    stmt = Assume(conj(atom_gt(x, 0)), "x>0")
+    assert stmt.execute({"x": Fraction(1)}) == {"x": Fraction(1)}
+    assert stmt.execute({"x": Fraction(0)}) is None
+    assert stmt.text == "x>0"
+    assert str(stmt) == "x>0"
+
+
+def test_assume_sp_is_conjunction():
+    stmt = Assume(conj(atom_gt(x, 0)))
+    post = stmt.sp_conj(conj(atom_lt(x, 5)))
+    assert post.entails_atom(atom_gt(x, 0))
+    assert post.entails_atom(atom_lt(x, 5))
+
+
+def test_assign_execute():
+    stmt = Assign("x", x + y)
+    out = stmt.execute({"x": Fraction(1), "y": Fraction(2)})
+    assert out == {"x": Fraction(3), "y": Fraction(2)}
+
+
+def test_assign_sp_exact():
+    stmt = Assign("x", x + 1)
+    post = stmt.sp_conj(conj(atom_eq(x, 5)))
+    assert post.entails_atom(atom_eq(x, 6))
+    assert not post.entails_atom(atom_eq(x, 5))
+
+
+def test_assign_sp_self_reference():
+    # x := x - y from {x = 7, y = 2} -> {x = 5, y = 2}
+    stmt = Assign("x", x - y)
+    post = stmt.sp_conj(conj(atom_eq(x, 7), atom_eq(y, 2)))
+    assert post.entails_atom(atom_eq(x, 5))
+    assert post.entails_atom(atom_eq(y, 2))
+
+
+def test_assign_sp_loses_old_value_only():
+    stmt = Assign("x", var("c") * 1)
+    post = stmt.sp_conj(conj(atom_ge(x, 100), atom_le(var("c"), 3)))
+    assert post.entails_atom(atom_le(x, 3))
+    assert not post.entails_atom(atom_ge(x, 100))
+
+
+def test_havoc_sp_projects():
+    stmt = Havoc("x")
+    post = stmt.sp_conj(conj(atom_eq(x, 5), atom_eq(y, 2)))
+    assert post.entails_atom(atom_eq(y, 2))
+    assert not post.entails_atom(atom_eq(x, 5))
+
+
+def test_havoc_execute_needs_chooser():
+    stmt = Havoc("x")
+    with pytest.raises(NondeterminismError):
+        stmt.execute({"x": Fraction(0)})
+    out = stmt.execute_with({"x": Fraction(0)}, 9)
+    assert out["x"] == 9
+
+
+def test_statement_value_identity():
+    assert Assign("x", x + 1) == Assign("x", 1 + x)
+    assert Assume(conj(atom_gt(x, 0)), "g") == Assume(conj(atom_gt(x, 0)), "g")
+    assert Assume(conj(atom_gt(x, 0)), "g") != Assume(conj(atom_gt(x, 0)), "h")
+    assert len({Assign("x", x + 1), Assign("x", x + 1)}) == 1
+
+
+def test_reserved_oldrnk_protected():
+    with pytest.raises(ValueError):
+        Assign(OLDRNK, x)
+    with pytest.raises(ValueError):
+        Havoc(OLDRNK)
+
+
+def test_sp_pred_keeps_oldrnk_case_split():
+    stmt = Assign("x", x + 1)
+    pre = Pred.rank_decreased(x)
+    post = stmt.sp_pred(pre)
+    # the oldrnk-infinite case survives program statements
+    assert post.inf_disjuncts
+    assert post.fin_disjuncts
+    (fin,) = post.fin_disjuncts
+    assert fin.entails_atom(atom_lt(x - 1, var(OLDRNK)))
+
+
+def test_hoare_valid_basic():
+    stmt = Assign("x", x - 1)
+    pre = Pred.of_inf(conj(atom_ge(x, 1)))
+    post = Pred.of_inf(conj(atom_ge(x, 0)))
+    assert hoare_valid(pre, stmt, post)
+    assert not hoare_valid(post, stmt, pre)
+
+
+def test_hoare_valid_with_oldrnk_update():
+    # {x < oldrnk} oldrnk := x; x := x - 1 {x < oldrnk}: after the update
+    # oldrnk = old x, then x decreases, so x < oldrnk again.
+    stmt = Assign("x", x - 1)
+    pred = Pred.rank_decreased(x)
+    assert hoare_valid(pred, stmt, pred, oldrnk_update=x)
+    # without the update the triple fails on the finite case
+    grow = Assign("x", x + 1)
+    assert not hoare_valid(pred, grow, pred, oldrnk_update=None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(-8, 8), st.integers(-8, 8), st.integers(-3, 3))
+def test_sp_agrees_with_execution(x0, y0, k):
+    """Concrete runs land inside the strongest postcondition."""
+    statements = [
+        Assume(conj(atom_ge(x, -8), atom_le(x, 8))),
+        Assign("x", x + k),
+        Assign("y", x - y),
+        Assume(conj(atom_le(y, 20))),
+    ]
+    valuation = {"x": Fraction(x0), "y": Fraction(y0)}
+    pre = conj(atom_eq(x, x0), atom_eq(y, y0))
+    post = pre
+    for stmt in statements:
+        result = stmt.execute(valuation)
+        post = stmt.sp_conj(post)
+        if result is None:
+            assert post.is_unsat() or not post.evaluate(valuation)
+            return
+        valuation = result
+    assert post.evaluate(valuation), "execution escaped the postcondition"

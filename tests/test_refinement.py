@@ -1,0 +1,186 @@
+"""End-to-end tests of the refinement engine and public API."""
+
+import pytest
+
+from repro import (AnalysisConfig, StageSequence, Verdict, prove_termination,
+                   prove_termination_source)
+from repro.core.module import validate_module
+from repro.core.stats import StatsCollector
+from repro.program.parser import parse_program
+
+SORT = """
+program sort(i, j):
+    while i > 0:
+        j := 1
+        while j < i:
+            j := j + 1
+        i := i - 1
+"""
+
+COUNTDOWN = """
+program count_down(x):
+    while x > 0:
+        x := x - 1
+"""
+
+DIVERGES = """
+program count_up(x):
+    while x > 0:
+        x := x + 1
+"""
+
+
+def test_countdown_terminates():
+    result = prove_termination_source(COUNTDOWN)
+    assert result.verdict is Verdict.TERMINATING
+    assert bool(result)
+    assert result.modules
+    assert result.stats.iterations >= 1
+
+
+def test_sort_terminates_like_the_paper():
+    result = prove_termination_source(SORT, AnalysisConfig(timeout=30.0))
+    assert result.verdict is Verdict.TERMINATING
+    # every produced module is a valid certified module (Definition 3.1)
+    for module in result.modules:
+        assert validate_module(module) == []
+
+
+def test_nontermination_detected():
+    result = prove_termination_source(DIVERGES)
+    assert result.verdict is Verdict.NONTERMINATING
+    assert not bool(result)
+    assert result.witness is not None
+    assert result.witness_word is not None
+
+
+def test_loop_free_program_is_trivially_terminating():
+    result = prove_termination_source("""
+program straight(x):
+    x := x + 1
+    x := x - 2
+""")
+    assert result.verdict is Verdict.TERMINATING
+    assert result.stats.iterations == 0
+
+
+def test_unknown_on_multiphase():
+    result = prove_termination_source("""
+program multiphase(x, y):
+    while x > 0:
+        x := x + y
+        y := y - 1
+""")
+    assert result.verdict is Verdict.UNKNOWN
+    assert result.reason and "not provable" in result.reason
+
+
+def test_refinement_budget():
+    result = prove_termination_source(SORT, AnalysisConfig(max_refinements=1))
+    assert result.verdict is Verdict.UNKNOWN
+    assert result.reason == "refinement budget exhausted"
+
+
+def test_timeout_budget():
+    result = prove_termination_source(SORT, AnalysisConfig(timeout=0.0))
+    assert result.verdict is Verdict.UNKNOWN
+    assert result.reason == "timeout"
+
+
+def test_all_stage_sequences_solve_countdown():
+    for name in ("i", "ii", "iii"):
+        config = AnalysisConfig.multi_stage(name, timeout=30.0)
+        result = prove_termination_source(COUNTDOWN, config)
+        assert result.verdict is Verdict.TERMINATING, name
+
+
+def test_single_stage_solves_countdown():
+    result = prove_termination_source(
+        COUNTDOWN, AnalysisConfig.single_stage(timeout=30.0))
+    assert result.verdict is Verdict.TERMINATING
+    assert all(m.stage == "nondet" for m in result.modules)
+
+
+def test_optimization_toggles_do_not_change_verdicts():
+    for lazy in (True, False):
+        for subsumption in (True, False):
+            config = AnalysisConfig(lazy_complement=lazy,
+                                    subsumption=subsumption, timeout=30.0)
+            result = prove_termination_source(SORT, config)
+            assert result.verdict is Verdict.TERMINATING, (lazy, subsumption)
+
+
+def test_collector_captures_sdbas():
+    collector = StatsCollector(capture_sdbas=True)
+    program = parse_program(SORT)
+    result = prove_termination(program, AnalysisConfig(timeout=30.0), collector)
+    assert result.verdict is Verdict.TERMINATING
+    assert collector.sdbas, "sort produces semideterministic modules"
+    from repro.automata.classify import is_semideterministic
+    for auto in collector.sdbas:
+        assert is_semideterministic(auto)
+
+
+def test_stats_summary_shape():
+    result = prove_termination_source(COUNTDOWN)
+    summary = result.stats.summary()
+    assert "count_down" in summary
+    assert "rounds" in summary
+    assert result.stats.config.startswith("multi(i)")
+
+
+def test_config_describe():
+    assert AnalysisConfig().describe() == "multi(i)+ncsb-lazy+subsumption"
+    assert AnalysisConfig.single_stage(
+        lazy_complement=False, subsumption=False).describe() == "single+ncsb-original"
+    custom = AnalysisConfig().with_(subsumption=False)
+    assert "subsumption" not in custom.describe()
+
+
+def test_verdicts_are_stable_across_repeat_runs():
+    first = prove_termination_source(SORT, AnalysisConfig(timeout=30.0))
+    second = prove_termination_source(SORT, AnalysisConfig(timeout=30.0))
+    assert first.verdict == second.verdict
+    assert [m.stage for m in first.modules] == [m.stage for m in second.modules]
+
+
+def test_interpolant_modules_solve_phase_programs():
+    result = prove_termination_source("""
+program two_phase(x, p):
+    while x > 0:
+        if p == 0:
+            x := x + 1
+            p := 1
+        else:
+            x := x - 2
+""", AnalysisConfig(timeout=30.0, interpolant_modules=True))
+    assert result.verdict is Verdict.TERMINATING
+    for module in result.modules:
+        assert validate_module(module) == []
+
+
+def test_portfolio_dominates_first_member():
+    from repro import prove_termination_portfolio
+    program = parse_program("""
+program warmup(x, w):
+    while x > 0:
+        if w > 0:
+            w := w - 1
+        else:
+            x := x - 1
+""")
+    result = prove_termination_portfolio(program, timeout=40.0)
+    assert result.verdict is Verdict.TERMINATING
+
+
+def test_portfolio_requires_configs():
+    from repro import prove_termination_portfolio
+    with pytest.raises(ValueError):
+        prove_termination_portfolio(parse_program("program p(x):"), configs=())
+
+
+def test_via_semidet_route_sound():
+    result = prove_termination_source(COUNTDOWN,
+                                      AnalysisConfig.single_stage(
+                                          timeout=20.0, via_semidet=True))
+    assert result.verdict is Verdict.TERMINATING

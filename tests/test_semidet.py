@@ -1,0 +1,105 @@
+"""Tests for semi-determinization (BA -> SDBA)."""
+
+import random
+
+import pytest
+
+from repro.automata.classify import (is_normalized_sdba, is_semideterministic,
+                                     sdba_parts)
+from repro.automata.complement.ncsb import NCSBLazy, prepare_sdba
+from repro.automata.gba import ba, materialize
+from repro.automata.semidet import BreakpointState, semi_determinize
+from repro.automata.words import UPWord, accepts
+
+SIGMA = ("a", "b")
+
+
+def words(count, seed):
+    rng = random.Random(seed)
+    return [UPWord(tuple(rng.choice(SIGMA) for _ in range(rng.randint(0, 4))),
+                   tuple(rng.choice(SIGMA) for _ in range(rng.randint(1, 4))))
+            for _ in range(count)]
+
+
+def random_ba(seed: int, n: int = 4):
+    rng = random.Random(seed)
+    states = [f"q{i}" for i in range(n)]
+    transitions = {}
+    for q in states:
+        for s in SIGMA:
+            targets = {t for t in states if rng.random() < 0.45}
+            if targets:
+                transitions[(q, s)] = targets
+    accepting = [q for q in states if rng.random() < 0.4] or [states[-1]]
+    return ba(set(SIGMA), transitions, [states[0]], accepting, states=states)
+
+
+def test_result_is_semideterministic():
+    for seed in range(10):
+        result = semi_determinize(random_ba(seed))
+        assert is_semideterministic(result), seed
+
+
+def test_accepting_states_in_deterministic_part():
+    result = semi_determinize(random_ba(3))
+    parts = sdba_parts(result)
+    assert parts is not None
+    _, q2 = parts
+    assert result.accepting <= q2
+    for q in result.accepting:
+        assert isinstance(q, BreakpointState)
+        assert q.is_breakpoint()
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_language_preserved(seed):
+    auto = random_ba(seed)
+    result = semi_determinize(auto)
+    for word in words(120, seed + 700):
+        assert accepts(result, word) == accepts(auto, word), str(word)
+
+
+def test_branching_spawner_case():
+    # the classic stress case: an accepting self-loop that keeps spawning
+    # a rejecting branch -- naive breakpoint tracking can starve here.
+    auto = ba(set(SIGMA),
+              {("f", "a"): {"f", "x"}, ("x", "a"): {"x"}},
+              ["f"], ["f"], states={"f", "x"})
+    result = semi_determinize(auto)
+    assert accepts(result, UPWord((), ("a",)))
+    assert not accepts(result, UPWord((), ("b",)))
+
+
+def test_delayed_spawner_case():
+    # spawns happen from a non-accepting state on the accepting cycle
+    auto = ba(set(SIGMA),
+              {("f", "a"): {"s1"}, ("s1", "a"): {"s2", "x"},
+               ("s2", "a"): {"f"}, ("x", "a"): {"x"}},
+              ["f"], ["f"])
+    result = semi_determinize(auto)
+    assert accepts(result, UPWord((), ("a",)))
+
+
+def test_rejects_gba():
+    from repro.automata.gba import GBA
+    gba = GBA(set(SIGMA), {("q", "a"): {"q"}}, ["q"], [["q"], ["q"]])
+    with pytest.raises(ValueError):
+        semi_determinize(gba)
+
+
+def test_accepting_initial_state_enters_directly():
+    auto = ba(set(SIGMA), {("f", "a"): {"f"}}, ["f"], ["f"])
+    result = semi_determinize(auto)
+    # some initial state is already a breakpoint entry
+    assert any(isinstance(q, BreakpointState) for q in result.initial_states())
+    assert accepts(result, UPWord((), ("a",)))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_composes_with_ncsb(seed):
+    """The whole alternative pipeline: BA -> SDBA -> NCSB complement."""
+    auto = random_ba(seed)
+    sdba = prepare_sdba(semi_determinize(auto))
+    complement = materialize(NCSBLazy(sdba))
+    for word in words(80, seed + 900):
+        assert accepts(complement, word) != accepts(auto, word), str(word)
