@@ -1,0 +1,154 @@
+"""Kernel successor-index / memoization layer: cached vs uncached.
+
+Ablation for the shared caching layer of the difference pipeline
+(``difference(..., cache=...)``): CachedImplicitGBA wrappers around the
+product (and any implicit minuend) give Algorithm 1 precomputed
+per-state sorted edge lists instead of a fresh ``sorted(alphabet)`` per
+pushed state, plus memoized successor/acceptance queries.
+
+Methodology: for each ``bench_scaling`` family at its largest
+configuration, one analysis run harvests the certified-module chain;
+the difference chain is then *replayed* with caching on and off.  The
+replay isolates the automata kernel from ranking synthesis, which is
+what the layer accelerates.  Verdicts and ``useful_states`` counts must
+be identical in both modes (caching is pure memoization).
+
+A second sweep exercises the Figure-4 corpus: differences against the
+random SDBA corpus, cached vs uncached.
+
+Expected shape: >= 1.5x on the largest configuration (the nested
+family), smaller wins on the shallow families whose differences are
+tiny, and roughly break-even on the Fig. 4 corpus sweep (2-3 symbol
+alphabets: per-push alphabet sorting is already cheap there, so the
+wrapper indirection costs about what the index saves).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import TIMEOUT
+
+from repro.automata.difference import difference
+from repro.automata.gba import ba
+from repro.benchgen.scaled import (interleaved_counters, nested_loops,
+                                   phase_chain, sequential_loops)
+from repro.core.api import prove_termination
+from repro.core.config import AnalysisConfig
+from repro.program.cfg import build_cfg
+
+#: family -> (generator, largest k used by bench_scaling)
+LARGEST = {
+    "interleaved": (interleaved_counters, 4),
+    "sequential": (sequential_loops, 4),
+    "phases": (phase_chain, 4),
+    "nested": (nested_loops, 3),  # the largest configuration overall
+}
+HEADLINE_FAMILY = "nested"
+
+
+def harvest_chain(family: str):
+    """One analysis run; returns (program GBA, certified module automata)."""
+    generator, k = LARGEST[family]
+    bench = generator(k)
+    program = bench.parse()
+    result = prove_termination(program, AnalysisConfig(timeout=TIMEOUT))
+    return build_cfg(program).to_gba(), [m.automaton for m in result.modules]
+
+
+def replay_chain(program_gba, modules, *, cache: bool):
+    """Replay the difference chain; returns (seconds, per-step verdicts)."""
+    start = time.perf_counter()
+    current = program_gba
+    verdicts = []
+    for module in modules:
+        result = difference(current, module, cache=cache)
+        verdicts.append((result.is_empty, result.stats.useful_states))
+        current = result.automaton
+    return time.perf_counter() - start, verdicts
+
+
+def timed_replay(program_gba, modules, *, cache: bool, rounds: int = 3):
+    best, verdicts = replay_chain(program_gba, modules, cache=cache)
+    for _ in range(rounds - 1):
+        seconds, again = replay_chain(program_gba, modules, cache=cache)
+        assert again == verdicts
+        best = min(best, seconds)
+    return best, verdicts
+
+
+def test_kernel_cache_report():
+    print(f"\n=== kernel cache ablation (harvest budget {TIMEOUT:.0f}s/program) ===")
+    speedups = {}
+    for family in LARGEST:
+        program_gba, modules = harvest_chain(family)
+        cached_s, cached_v = timed_replay(program_gba, modules, cache=True)
+        plain_s, plain_v = timed_replay(program_gba, modules, cache=False)
+        # pure memoization: identical emptiness verdicts and useful-state
+        # counts at every step of the chain
+        assert cached_v == plain_v, family
+        speedups[family] = plain_s / cached_s if cached_s else float("inf")
+        print(f"  {family:12s} ({len(modules):2d} modules): "
+              f"cached {cached_s*1000:8.1f}ms  uncached {plain_s*1000:8.1f}ms  "
+              f"speedup {speedups[family]:5.2f}x")
+    headline = speedups[HEADLINE_FAMILY]
+    print(f"  headline ({HEADLINE_FAMILY}, largest config): {headline:.2f}x")
+    assert headline >= 1.5, (
+        f"expected >= 1.5x on the largest configuration, got {headline:.2f}x")
+
+
+# -- Figure-4 corpus sweep ---------------------------------------------------------
+
+
+def _corpus_pairs(corpus, count: int = 20):
+    rng = random.Random(42)
+    pairs = []
+    for sdba in corpus[:count]:
+        sigma = sorted(sdba.alphabet, key=str)
+        states = list(range(4))
+        transitions = {}
+        for q in states:
+            for s in sigma:
+                targets = {t for t in states if rng.random() < 0.5}
+                if targets:
+                    transitions[(q, s)] = targets
+        minuend = ba(sdba.alphabet, transitions, [0], states, states=states)
+        pairs.append((minuend, sdba))
+    return pairs
+
+
+def corpus_sweep(pairs, *, cache: bool):
+    verdicts = []
+    for minuend, sdba in pairs:
+        result = difference(minuend, sdba, cache=cache)
+        verdicts.append((result.is_empty, result.stats.useful_states))
+    return verdicts
+
+
+def test_kernel_cache_corpus_agreement(corpus):
+    pairs = _corpus_pairs(corpus)
+    start = time.perf_counter()
+    cached = corpus_sweep(pairs, cache=True)
+    mid = time.perf_counter()
+    plain = corpus_sweep(pairs, cache=False)
+    end = time.perf_counter()
+    assert cached == plain
+    print(f"\n=== kernel cache on the Fig. 4 corpus ({len(pairs)} differences) ===")
+    print(f"  cached:   {(mid - start)*1000:8.1f}ms")
+    print(f"  uncached: {(end - mid)*1000:8.1f}ms")
+
+
+# -- pytest-benchmark hooks --------------------------------------------------------
+
+
+def test_kernel_cache_largest_cached_benchmark(benchmark):
+    program_gba, modules = harvest_chain(HEADLINE_FAMILY)
+    benchmark.pedantic(replay_chain, args=(program_gba, modules),
+                       kwargs={"cache": True}, rounds=1, iterations=1)
+
+
+def test_kernel_cache_largest_uncached_benchmark(benchmark):
+    program_gba, modules = harvest_chain(HEADLINE_FAMILY)
+    benchmark.pedantic(replay_chain, args=(program_gba, modules),
+                       kwargs={"cache": False}, rounds=1, iterations=1)

@@ -204,6 +204,50 @@ class NCSBLazy(_NCSBBase):
 
 # -- subsumption (Section 6) -----------------------------------------------------
 
+class MacroEncoder:
+    """Interned bitset encoding of :class:`MacroState` components.
+
+    Bit positions are assigned to SDBA states lazily on first encounter,
+    so the encoder needs no up-front universe; each component frozenset
+    and each macro-state is interned, making repeated encodings O(1).
+    A component set becomes an int bitmask, so the superset tests of the
+    subsumption relations (Eqs. 4/5) reduce to single-word ``&``/``==``
+    operations -- the hot loop of the ``ceil(emp)`` antichain.
+
+    An encoded macro is ``(n, c, s, b, ln, lc, ls, lb)``: four bitmasks
+    plus the component sizes, used as a cheap antichain pre-filter
+    (``x ⊇ y`` needs ``|x| >= |y|``).
+    """
+
+    def __init__(self) -> None:
+        self._bit_of: dict[State, int] = {}
+        self._set_cache: dict[frozenset, int] = {}
+        self._macro_cache: dict[MacroState, tuple[int, ...]] = {}
+
+    def _bits(self, states: frozenset) -> int:
+        cached = self._set_cache.get(states)
+        if cached is None:
+            bit_of = self._bit_of
+            cached = 0
+            for q in states:
+                bit = bit_of.get(q)
+                if bit is None:
+                    bit = 1 << len(bit_of)
+                    bit_of[q] = bit
+                cached |= bit
+            self._set_cache[states] = cached
+        return cached
+
+    def encode(self, macro: MacroState) -> tuple[int, ...]:
+        cached = self._macro_cache.get(macro)
+        if cached is None:
+            cached = (self._bits(macro.n), self._bits(macro.c),
+                      self._bits(macro.s), self._bits(macro.b),
+                      len(macro.n), len(macro.c), len(macro.s), len(macro.b))
+            self._macro_cache[macro] = cached
+        return cached
+
+
 def subsumes(small: MacroState, big: MacroState) -> bool:
     """``small <= big`` in the relation of Eq. 4: componentwise superset
     on N, C, S.  Implies language inclusion for NCSB-Original macro-states."""

@@ -23,9 +23,10 @@ from typing import Callable
 
 from repro.automata.complement.dispatch import (ComplementKind,
                                                 implicit_complement)
-from repro.automata.complement.ncsb import MacroState, subsumes, subsumes_b
+from repro.automata.complement.ncsb import (MacroEncoder, MacroState,
+                                            subsumes, subsumes_b)
 from repro.automata.emptiness import EmptyOracle, RemovalStats, remove_useless
-from repro.automata.gba import GBA, ImplicitGBA, State
+from repro.automata.gba import CachedImplicitGBA, GBA, ImplicitGBA, State
 from repro.automata.ops import ProductGBA
 
 
@@ -35,13 +36,25 @@ class SubsumptionOracle(EmptyOracle):
     Entries are grouped by the GBA-side state ``qA``; within a group only
     ``<='``-maximal complement macro-states are kept (a smaller-language
     macro-state subsumed by a recorded empty one is empty too).
+
+    For the two known relations (Eq. 4 ``subsumes`` and Eq. 5
+    ``subsumes_b``) the antichain scan runs over an interned bitset
+    encoding of the macro-state components (:class:`MacroEncoder`), with
+    a component-size pre-filter in front of the bitwise checks; custom
+    relations fall back to the generic frozenset path.
     """
 
     def __init__(self, relation: Callable[[MacroState, MacroState], bool]):
         super().__init__()
         self._relation = relation
-        self._groups: dict[State, list[MacroState]] = {}
+        self._use_bits = relation in (subsumes, subsumes_b)
+        self._check_b = relation is subsumes_b
+        self._encoder = MacroEncoder()
+        #: Per-group entries: ``(macro, encoded)`` on the bitset path,
+        #: ``(macro, None)`` on the generic path.
+        self._groups: dict[State, list[tuple[MacroState, tuple[int, ...] | None]]] = {}
         self._size = 0
+        self.prefilter_skips = 0
 
     @staticmethod
     def _split(state: State) -> tuple[State, MacroState | None]:
@@ -55,18 +68,39 @@ class SubsumptionOracle(EmptyOracle):
             return state[0], state[1]
         return state, None
 
+    def _subsumed(self, small: tuple[MacroState, tuple[int, ...] | None],
+                  big: tuple[MacroState, tuple[int, ...] | None]) -> bool:
+        """Is ``small`` subsumed by ``big`` (``small <=' big``)?"""
+        if not self._use_bits:
+            return self._relation(small[0], big[0])
+        sn, sc, ss, sb, sln, slc, sls, slb = small[1]
+        bn, bc, bs, bb, bln, blc, bls, blb = big[1]
+        # Superset on every component needs at-least-as-large sizes;
+        # comparing four ints is cheaper than four mask operations.
+        if sln < bln or slc < blc or sls < bls or (self._check_b and slb < blb):
+            self.prefilter_skips += 1
+            return False
+        return (sn & bn == bn and sc & bc == bc and ss & bs == bs
+                and (not self._check_b or sb & bb == bb))
+
+    def _entry(self, macro: MacroState) -> tuple[MacroState, tuple[int, ...] | None]:
+        if self._use_bits:
+            return macro, self._encoder.encode(macro)
+        return macro, None
+
     def add(self, state: State) -> None:
         q_a, macro = self._split(state)
         if macro is None:
             super().add(state)
             return
+        entry = self._entry(macro)
         group = self._groups.setdefault(q_a, [])
         for existing in group:
-            if self._relation(macro, existing):
+            if self._subsumed(entry, existing):
                 return  # already covered
         survivors = [existing for existing in group
-                     if not self._relation(existing, macro)]
-        survivors.append(macro)
+                     if not self._subsumed(existing, entry)]
+        survivors.append(entry)
         self._size += len(survivors) - len(group)
         self._groups[q_a] = survivors
 
@@ -77,7 +111,8 @@ class SubsumptionOracle(EmptyOracle):
         group = self._groups.get(q_a)
         if not group:
             return False
-        return any(self._relation(macro, existing) for existing in group)
+        entry = self._entry(macro)
+        return any(self._subsumed(entry, existing) for existing in group)
 
     def __len__(self) -> int:
         return self._size + super().__len__()
@@ -100,6 +135,7 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
                lazy: bool = True,
                subsumption: bool = True,
                via_semidet: bool = False,
+               cache: bool = True,
                kind: ComplementKind | None = None,
                state_limit: int | None = None,
                deadline: float | None = None) -> DifferenceResult:
@@ -109,11 +145,26 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
     (the certified-module automaton).  ``lazy``/``subsumption`` select
     the Section 5/6 optimizations; ``kind`` pins the complementation
     procedure.  ``state_limit`` bounds the product exploration.
+
+    ``cache`` (default on) installs the shared successor-index /
+    memoization layer: an implicit minuend is wrapped in a
+    :class:`~repro.automata.gba.CachedImplicitGBA` (explicit GBAs
+    already carry their own lazily built edge index), and so is the
+    product itself, giving Algorithm 1 precomputed per-state sorted
+    edge lists instead of a fresh alphabet sort per pushed state.
     """
     comp, used_kind = implicit_complement(
         subtrahend, minuend.alphabet, lazy=lazy, via_semidet=via_semidet,
         kind=kind)
-    product = ProductGBA(minuend, comp)
+    wrappers: list[CachedImplicitGBA] = []
+    left = minuend
+    if cache and not isinstance(left, (GBA, CachedImplicitGBA)):
+        left = CachedImplicitGBA(left)
+        wrappers.append(left)
+    product: ImplicitGBA = ProductGBA(left, comp)
+    if cache:
+        product = CachedImplicitGBA(product)
+        wrappers.append(product)
     oracle: EmptyOracle | None = None
     ncsb_kinds = (ComplementKind.SDBA_ORIGINAL, ComplementKind.SDBA_LAZY,
                   ComplementKind.VIA_SEMIDET)
@@ -124,4 +175,9 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
         oracle = SubsumptionOracle(relation)
     useful, stats = remove_useless(product, oracle=oracle,
                                    state_limit=state_limit, deadline=deadline)
+    for wrapper in wrappers:
+        stats.cache_hits += wrapper.cache_hits
+        stats.cache_misses += wrapper.cache_misses
+    if isinstance(oracle, SubsumptionOracle):
+        stats.prefilter_skips = oracle.prefilter_skips
     return DifferenceResult(useful, used_kind, stats)

@@ -54,8 +54,27 @@ class RemovalStats:
     explored_states: int = 0
     explored_edges: int = 0
     useful_states: int = 0
+    #: States proved useless, counted directly as Algorithm 1 classifies
+    #: them -- independent of the oracle representation (a subsumption
+    #: antichain keeps only maximal entries, so ``len(oracle)`` would
+    #: under-report pruning).
     useless_states: int = 0
     subsumption_hits: int = 0
+    #: Successor-cache hits/misses of the memoization layer (filled in by
+    #: ``difference`` when its :class:`~repro.automata.gba.CachedImplicitGBA`
+    #: wrappers are active).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Peak number of explored edges buffered at any point.  Edges are
+    #: streamed into a per-state index and dropped as soon as their
+    #: source is classified useless, so this is proportional to the
+    #: useful/active part -- not to the whole exploration.
+    peak_pending_edges: int = 0
+    #: Edges of the materialized useful sub-automaton.
+    retained_edges: int = 0
+    #: Antichain comparisons skipped by the cheap size pre-filter of the
+    #: subsumption oracle.
+    prefilter_skips: int = 0
 
 
 class _Frame:
@@ -91,14 +110,29 @@ def remove_useless(auto: ImplicitGBA, *,
     scc_stack: list[tuple[State, frozenset[int]]] = []  # SCCs in the paper
     act_stack: list[State] = []
     act_set: set[State] = set()
-    edges_seen: list[tuple[State, Symbol, State]] = []
+    # Explored edges are streamed into a per-source index and retired the
+    # moment the source is classified: useless sources drop their edges,
+    # useful ones contribute them to the result right away.  Peak
+    # auxiliary memory is therefore proportional to the useful + active
+    # part of the automaton, never to the full exploration.
+    pending: dict[State, list[tuple[Symbol, State]]] = {}
+    pending_count = 0
+    transitions: dict[tuple[State, Symbol], set[State]] = {}
 
-    def edge_iter(state: State) -> Iterator[tuple[Symbol, State]]:
-        for symbol in sorted(auto.alphabet, key=str):
-            for target in auto.successors(state, symbol):
-                yield symbol, target
+    edge_index = getattr(auto, "edges_from", None)
+    if edge_index is not None:
+        # Indexed path (explicit GBAs and CachedImplicitGBA wrappers):
+        # one precomputed sorted (symbol, target) list per state.
+        def edge_iter(state: State) -> Iterator[tuple[Symbol, State]]:
+            return iter(edge_index(state))
+    else:
+        def edge_iter(state: State) -> Iterator[tuple[Symbol, State]]:
+            for symbol in sorted(auto.alphabet, key=str):
+                for target in auto.successors(state, symbol):
+                    yield symbol, target
 
     def construct(root: State) -> None:
+        nonlocal pending_count
         frames: list[_Frame] = []
 
         def push(state: State) -> None:
@@ -113,15 +147,20 @@ def remove_useless(auto: ImplicitGBA, *,
             scc_stack.append((state, auto.accepting_sets_of(state)))
             act_stack.append(state)
             act_set.add(state)
+            pending[state] = []
             frames.append(_Frame(state, edge_iter(state)))
 
         push(root)
         while frames:
             frame = frames[-1]
             advanced = False
+            source_edges = pending[frame.state]
             for symbol, target in frame.edges:
                 stats.explored_edges += 1
-                edges_seen.append((frame.state, symbol, target))
+                source_edges.append((symbol, target))
+                pending_count += 1
+                if pending_count > stats.peak_pending_edges:
+                    stats.peak_pending_edges = pending_count
                 if on_transition is not None:
                     on_transition(frame.state, symbol, target)
                 if target in useful:
@@ -157,15 +196,34 @@ def remove_useless(auto: ImplicitGBA, *,
             state = frame.state
             if scc_stack and scc_stack[-1][0] == state:
                 scc_stack.pop()
+                members: list[State] = []
                 while True:
                     member = act_stack.pop()
                     act_set.discard(member)
+                    members.append(member)
                     if frame.is_nemp:
                         useful.add(member)
                     else:
                         oracle.add(member)
+                        stats.useless_states += 1
                     if member == state:
                         break
+                # Retire the members' buffered edges.  Every target is
+                # classified by now (a back edge to a still-active state
+                # would have merged the SCCs), so useful -> useful edges
+                # can be committed immediately and everything else dropped.
+                if frame.is_nemp:
+                    for member in members:
+                        edges = pending.pop(member)
+                        pending_count -= len(edges)
+                        for symbol, target in edges:
+                            if target in useful:
+                                transitions.setdefault(
+                                    (member, symbol), set()).add(target)
+                                stats.retained_edges += 1
+                else:
+                    for member in members:
+                        pending_count -= len(pending.pop(member))
             if frames:
                 frames[-1].is_nemp = frames[-1].is_nemp or frame.is_nemp
 
@@ -174,17 +232,12 @@ def remove_useless(auto: ImplicitGBA, *,
             if initial not in dfsnum:
                 construct(initial)
 
-    transitions: dict[tuple[State, Symbol], set[State]] = {}
-    for source, symbol, target in edges_seen:
-        if source in useful and target in useful:
-            transitions.setdefault((source, symbol), set()).add(target)
     acc = [[q for q in useful if j in auto.accepting_sets_of(q)]
            for j in range(auto.acceptance_count)]
     result = GBA(auto.alphabet, transitions,
                  [q for q in auto.initial_states() if q in useful],
                  acc, states=useful)
     stats.useful_states = len(useful)
-    stats.useless_states = len(oracle)
     return result, stats
 
 
@@ -347,19 +400,18 @@ def _bfs_path(auto: GBA, sources: Iterable[State],
     queue: deque[State] = deque(sources)
     while queue:
         q = queue.popleft()
-        for symbol in sorted(auto.alphabet, key=str):
-            for t in auto.successors(q, symbol):
-                if within is not None and t not in within:
-                    continue
-                if t in sources_set:
-                    if goal(t):  # cycle back to a source in >= 1 step
-                        return _reconstruct(parents, q, sources_set) + [symbol], t
-                    continue
-                if t not in parents:
-                    parents[t] = (q, symbol)
-                    if goal(t):
-                        return _reconstruct(parents, t, sources_set), t
-                    queue.append(t)
+        for symbol, t in auto.edges_from(q):  # indexed: symbols sorted
+            if within is not None and t not in within:
+                continue
+            if t in sources_set:
+                if goal(t):  # cycle back to a source in >= 1 step
+                    return _reconstruct(parents, q, sources_set) + [symbol], t
+                continue
+            if t not in parents:
+                parents[t] = (q, symbol)
+                if goal(t):
+                    return _reconstruct(parents, t, sources_set), t
+                queue.append(t)
     return [], None
 
 

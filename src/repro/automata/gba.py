@@ -18,6 +18,7 @@ explored lazily and never has to exist in memory as a whole.
 from __future__ import annotations
 
 from collections import deque
+from types import MappingProxyType
 from typing import Hashable, Iterable, Mapping, Protocol, runtime_checkable
 
 State = Hashable
@@ -79,6 +80,10 @@ class GBA:
             missing = f - self._states
             if missing:
                 raise ValueError(f"accepting states not in the automaton: {missing!r}")
+        #: Lazily built successor index: state -> ((symbol, target), ...)
+        #: with symbols in sorted order.  Built once on first use; never
+        #: invalidated -- a GBA is immutable after construction.
+        self._out_index: dict[State, tuple[tuple[Symbol, State], ...]] | None = None
 
     # -- ImplicitGBA protocol -----------------------------------------------
 
@@ -110,23 +115,42 @@ class GBA:
         return self._acc
 
     @property
-    def transitions(self) -> dict[tuple[State, Symbol], frozenset[State]]:
-        return dict(self._trans)
+    def transitions(self) -> Mapping[tuple[State, Symbol], frozenset[State]]:
+        """Read-only view of the transition map (no per-call copy)."""
+        return MappingProxyType(self._trans)
 
     def num_transitions(self) -> int:
         return sum(len(t) for t in self._trans.values())
 
+    def _build_out_index(self) -> dict[State, tuple[tuple[Symbol, State], ...]]:
+        grouped: dict[State, list[tuple[Symbol, State]]] = {}
+        for (source, symbol), targets in self._trans.items():
+            bucket = grouped.setdefault(source, [])
+            for target in targets:
+                bucket.append((symbol, target))
+        index = {source: tuple(sorted(edges, key=lambda e: str(e[0])))
+                 for source, edges in grouped.items()}
+        self._out_index = index
+        return index
+
     def post(self, state: State) -> frozenset[State]:
         """All successors of ``state`` over any symbol."""
-        out: set[State] = set()
-        for symbol in self._alphabet:
-            out |= self.successors(state, symbol)
-        return frozenset(out)
+        index = self._out_index
+        if index is None:
+            index = self._build_out_index()
+        return frozenset(target for _, target in index.get(state, ()))
 
-    def edges_from(self, state: State) -> Iterable[tuple[Symbol, State]]:
-        for symbol in self._alphabet:
-            for target in self.successors(state, symbol):
-                yield symbol, target
+    def edges_from(self, state: State) -> tuple[tuple[Symbol, State], ...]:
+        """Outgoing ``(symbol, target)`` edges, symbols in sorted order.
+
+        Served from the lazily built per-state successor index, so a
+        traversal never re-scans (or re-sorts) the whole alphabet per
+        state the way a naive ``for symbol in alphabet`` loop does.
+        """
+        index = self._out_index
+        if index is None:
+            index = self._build_out_index()
+        return index.get(state, ())
 
     def is_ba(self) -> bool:
         return len(self._acc) == 1
@@ -165,6 +189,90 @@ class GBA:
     def __repr__(self) -> str:
         return (f"GBA(|Q|={len(self._states)}, |Sigma|={len(self._alphabet)}, "
                 f"|delta|={self.num_transitions()}, k={len(self._acc)})")
+
+
+class CachedImplicitGBA:
+    """Memoizing view of an :class:`ImplicitGBA` (shared successor cache).
+
+    Generalizes the memoization hand-rolled in the NCSB constructions
+    (``_NCSBBase.successors``): every protocol query is answered once
+    from the wrapped automaton and then served from per-state caches.
+    The wrapper also exposes :meth:`edges_from`, the per-state sorted
+    outgoing-edge list used by Algorithm 1, so the exploration never
+    re-sorts the alphabet per visited state.
+
+    Invariants: caches are filled lazily and never invalidated -- the
+    wrapped automaton must be immutable after construction (true for
+    every automaton in this codebase).  ``cache_hits``/``cache_misses``
+    count successor-level queries and are threaded into
+    :class:`~repro.automata.emptiness.RemovalStats` by ``difference``.
+    """
+
+    def __init__(self, inner: ImplicitGBA):
+        self._inner = inner
+        self._alphabet = frozenset(inner.alphabet)
+        self._sorted_alphabet: tuple[Symbol, ...] = tuple(
+            sorted(self._alphabet, key=str))
+        self._acceptance_count = inner.acceptance_count
+        self._initial: tuple[State, ...] | None = None
+        self._succ: dict[tuple[State, Symbol], tuple[State, ...]] = {}
+        self._acc_of: dict[State, frozenset[int]] = {}
+        self._edges: dict[State, tuple[tuple[Symbol, State], ...]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def inner(self) -> ImplicitGBA:
+        return self._inner
+
+    # -- ImplicitGBA protocol -----------------------------------------------
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self._alphabet
+
+    @property
+    def acceptance_count(self) -> int:
+        return self._acceptance_count
+
+    def initial_states(self) -> tuple[State, ...]:
+        if self._initial is None:
+            self._initial = tuple(self._inner.initial_states())
+        return self._initial
+
+    def successors(self, state: State, symbol: Symbol) -> tuple[State, ...]:
+        key = (state, symbol)
+        cached = self._succ.get(key)
+        if cached is None:
+            self.cache_misses += 1
+            cached = tuple(self._inner.successors(state, symbol))
+            self._succ[key] = cached
+        else:
+            self.cache_hits += 1
+        return cached
+
+    def accepting_sets_of(self, state: State) -> frozenset[int]:
+        cached = self._acc_of.get(state)
+        if cached is None:
+            cached = frozenset(self._inner.accepting_sets_of(state))
+            self._acc_of[state] = cached
+        return cached
+
+    # -- successor index ---------------------------------------------------------
+
+    def edges_from(self, state: State) -> tuple[tuple[Symbol, State], ...]:
+        """Outgoing ``(symbol, target)`` edges, symbols in sorted order."""
+        cached = self._edges.get(state)
+        if cached is None:
+            cached = tuple((symbol, target)
+                           for symbol in self._sorted_alphabet
+                           for target in self.successors(state, symbol))
+            self._edges[state] = cached
+        return cached
+
+    def __repr__(self) -> str:
+        return (f"CachedImplicitGBA({self._inner!r}, "
+                f"hits={self.cache_hits}, misses={self.cache_misses})")
 
 
 def ba(alphabet: Iterable[Symbol],

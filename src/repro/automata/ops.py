@@ -40,9 +40,12 @@ def complete(auto: GBA, alphabet: Iterable[Symbol] | None = None,
                 transitions[(state, symbol)] = {sink}
                 need_sink = True
     if not need_sink:
-        return auto if alphabet is None else GBA(
-            sigma, transitions, auto.initial_states(), auto.acc_sets,
-            states=auto.states)
+        # Even when nothing is missing, return a fresh automaton: callers
+        # treat the result as their own copy, and handing back the input
+        # object would let mutations of the "completed" automaton corrupt
+        # the original.
+        return GBA(sigma, transitions, auto.initial_states(), auto.acc_sets,
+                   states=auto.states)
     for symbol in sigma:
         transitions[(sink, symbol)] = {sink}
     return GBA(sigma, transitions, auto.initial_states(), auto.acc_sets,
@@ -60,7 +63,10 @@ def union(left: GBA, right: GBA) -> GBA:
         raise ValueError("operands must have the same number of acceptance sets")
     tag_left = left.map_states(lambda q: (0, q))
     tag_right = right.map_states(lambda q: (1, q))
-    transitions = tag_left.transitions
+    # Copy before merging: ``transitions`` is a read-only view of the
+    # operand's internal map, and extending it in place would silently
+    # graft the right operand's transitions onto ``tag_left``.
+    transitions = dict(tag_left.transitions)
     transitions.update(tag_right.transitions)
     acc = [l | r for l, r in zip(tag_left.acc_sets, tag_right.acc_sets)]
     return GBA(left.alphabet | right.alphabet, transitions,

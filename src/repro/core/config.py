@@ -58,6 +58,10 @@ class AnalysisConfig:
     #: Complement general (stage-4) modules through semi-determinization
     #: + NCSB instead of the rank-based construction.
     via_semidet: bool = False
+    #: Use the successor-index / memoization layer in the difference
+    #: pipeline (CachedImplicitGBA wrappers + per-state edge lists).
+    #: Off is only useful for ablation benchmarks.
+    kernel_cache: bool = True
     #: Generalize infeasible counterexamples through interpolant-based
     #: semideterministic modules (Ultimate-style interpolant automata)
     #: instead of stage 1's prefix modules.
@@ -101,4 +105,6 @@ class AnalysisConfig:
             opts.append("interpolants")
         if self.via_semidet:
             opts.append("semidet")
+        if not self.kernel_cache:
+            opts.append("nocache")
         return f"{seq}+{'+'.join(opts)}"

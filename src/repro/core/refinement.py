@@ -102,8 +102,13 @@ class RefinementEngine:
                                           proof_kind=proof.kind.value)
             if proof.kind is ProofKind.NONTERMINATING:
                 collector.stats.record_round(round_stats)
+                # Report the canonicalized lasso's word, not the sampled
+                # one: Lasso.from_word may rotate the period, and the
+                # nontermination witness state is a loop-head state of
+                # the *rotated* loop -- replaying the sampled period from
+                # it could block at the rotated-away guard.
                 return finish(Verdict.NONTERMINATING,
-                              witness=proof.witness, word=word)
+                              witness=proof.witness, word=lasso.word())
             if not proof.is_terminating:
                 collector.stats.record_round(round_stats)
                 return finish(Verdict.UNKNOWN, word=word,
@@ -128,6 +133,7 @@ class RefinementEngine:
                     lazy=config.lazy_complement,
                     subsumption=config.subsumption,
                     via_semidet=config.via_semidet,
+                    cache=config.kernel_cache,
                     state_limit=config.difference_state_limit,
                     deadline=deadline)
             except ExplorationLimit:
@@ -148,6 +154,7 @@ class RefinementEngine:
                         current, companion.automaton,
                         lazy=config.lazy_complement,
                         subsumption=config.subsumption,
+                        cache=config.kernel_cache,
                         state_limit=config.difference_state_limit,
                         deadline=deadline)
                 except (ExplorationLimit, ExplorationTimeout):

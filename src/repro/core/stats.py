@@ -28,6 +28,13 @@ class RefinementRound:
     difference_states: int = 0
     explored_states: int = 0
     subsumption_hits: int = 0
+    #: Successor-cache hits/misses of the memoization layer in this
+    #: round's difference computation.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Peak number of edges Algorithm 1 buffered during the exploration
+    #: (proportional to the useful/active part, see RemovalStats).
+    peak_pending_edges: int = 0
     complement_kind: str | None = None
     seconds: float = 0.0
 
@@ -75,6 +82,9 @@ class StatsCollector:
         round_stats.difference_states = len(result.automaton.states)
         round_stats.explored_states = result.stats.explored_states
         round_stats.subsumption_hits = result.stats.subsumption_hits
+        round_stats.cache_hits = result.stats.cache_hits
+        round_stats.cache_misses = result.stats.cache_misses
+        round_stats.peak_pending_edges = result.stats.peak_pending_edges
         round_stats.complement_kind = result.kind.value
 
     def observe_sdba(self, automaton: GBA) -> None:

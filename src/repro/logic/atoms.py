@@ -18,6 +18,13 @@ from typing import Mapping
 
 from repro.logic.terms import Coeff, LinTerm, _as_term
 
+#: Names of rational-valued variables.  Program variables are
+#: integer-valued, but the auxiliary rank variable of the certificates
+#: (``predicates.OLDRNK``) stores ranking-function values, which are
+#: rationals (e.g. ``1/6*y + 5/6``); atoms mentioning it may be scaled
+#: but must never be rounded over the integers.
+RATIONAL_VARS = frozenset({"oldrnk"})
+
 
 class Rel(enum.Enum):
     """Relation of a normalized atom ``term REL 0``."""
@@ -92,6 +99,14 @@ class Atom:
         non-strict atom is ceiling-normalized.  Equalities are scaled
         but otherwise unchanged.  All steps are equivalences over the
         integers, so callers may freely mix tightened and raw atoms.
+
+        Atoms mentioning a rational-valued variable (:data:`RATIONAL_VARS`,
+        i.e. ``oldrnk``) are only scaled, never rounded: rounding bounds
+        on ``oldrnk`` manufactures contradictions — e.g.
+        ``6*oldrnk - y - 5 = 0 and 3 <= y <= 5`` is satisfiable (at
+        ``oldrnk = 5/3``) but has no solution with integral ``oldrnk``,
+        and an unsound "unsat" here becomes an unsound accepting state
+        in the powerset modules.
         """
         coeffs = self.term.coeffs
         if not coeffs:
@@ -105,6 +120,10 @@ class Atom:
             gcd = _gcd(gcd, abs(c.numerator * (lcm // c.denominator)))
         scale = Fraction(lcm, gcd if gcd else 1)
         term = self.term * scale if scale != 1 else self.term
+        if any(name in RATIONAL_VARS for name in coeffs):
+            # scaling is exact over the rationals; the integral rounding
+            # below is not, and oldrnk takes fractional values
+            return Atom(term, self.rel) if scale != 1 else self
         d = term.constant
         linear = term - d
         if self.rel is Rel.LT:

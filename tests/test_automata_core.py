@@ -150,7 +150,14 @@ def test_complete_extends_alphabet():
 
 def test_complete_noop_when_already_complete():
     auto = simple_ba()
-    assert complete(auto) is auto
+    full = complete(auto)
+    # language/structure unchanged, but a defensive copy is returned so
+    # callers mutating the "completed" automaton cannot corrupt the input
+    assert full is not auto
+    assert full.states == auto.states
+    assert full.alphabet == auto.alphabet
+    assert dict(full.transitions) == dict(auto.transitions)
+    assert full.acc_sets == auto.acc_sets
 
 
 def test_complete_rejects_shrinking_alphabet():
@@ -165,6 +172,32 @@ def test_union_language():
     assert accepts(both, UPWord((), ("a",)))
     assert accepts(both, UPWord((), ("b",)))
     assert not accepts(both, UPWord((), ("a", "b")))
+
+
+def test_union_leaves_operands_untouched():
+    only_a = ba(SIGMA, {("p", "a"): {"p"}}, ["p"], ["p"])
+    only_b = ba(SIGMA, {("r", "b"): {"r"}}, ["r"], ["r"])
+    before_a = dict(only_a.transitions)
+    before_b = dict(only_b.transitions)
+    union(only_a, only_b)
+    # regression: union used to extend the left operand's transition map
+    assert dict(only_a.transitions) == before_a
+    assert dict(only_b.transitions) == before_b
+    assert only_a.num_transitions() == 1
+    assert not accepts(only_a, UPWord((), ("b",)))
+
+
+def test_prepare_sdba_returns_defensive_copy():
+    from repro.automata.complement.ncsb import prepare_sdba
+    # already complete + normalized: nothing to do, but the result must
+    # still be a fresh object (mutating callers would corrupt the input)
+    auto = ba(SIGMA, {("d0", "a"): {"d0"}, ("d0", "b"): {"d1"},
+                      ("d1", "a"): {"d1"}, ("d1", "b"): {"d1"}},
+              ["d0"], ["d1"])
+    prepared = prepare_sdba(auto)
+    assert prepared is not auto
+    assert complete(auto) is not auto
+    assert dict(prepared.transitions) == dict(auto.transitions)
 
 
 def test_union_requires_same_acceptance_count():

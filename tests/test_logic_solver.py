@@ -66,6 +66,27 @@ def test_integral_tightening():
     assert e.is_trivially_false()
 
 
+def test_tightening_never_rounds_oldrnk():
+    # oldrnk is rational-valued (it stores ranking values like y/6+5/6),
+    # so atoms mentioning it are scaled but never rounded; rounding used
+    # to turn the satisfiable certificate below into "unsat" and create
+    # unsound accepting states in the powerset modules.
+    r = var("oldrnk")
+    a = atom_eq(2 * r, 5).tighten_integral()
+    assert not a.is_trivially_false()
+    b = atom_le(r, Fraction(5, 3)).tighten_integral()
+    assert b.evaluate({"oldrnk": Fraction(5, 3)})
+    c = atom_lt(r, Fraction(5, 3)).tighten_integral()
+    assert c.rel is Rel.LT
+    assert c.evaluate({"oldrnk": Fraction(3, 2)})
+    # the concrete conjunction from the soundness regression:
+    # 6*oldrnk - y - 5 = 0  &  3 <= y <= 5   (sat at y=5, oldrnk=5/3)
+    atoms = [atom_eq(6 * r - y, 5), atom_ge(y, 3), atom_le(y, 5)]
+    assert satisfiable(atoms)
+    model = find_model(atoms)
+    assert model is not None and 6 * model["oldrnk"] - model["y"] == 5
+
+
 # -- conjunctions --------------------------------------------------------------
 
 def test_conj_basics():

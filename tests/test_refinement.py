@@ -54,6 +54,29 @@ def test_nontermination_detected():
     assert result.witness_word is not None
 
 
+def test_fractional_rank_cycle_not_claimed_terminating():
+    # Regression: y cycles through -1 2 5 -5 -2 1 4 -4, so the program
+    # diverges from every initial state.  Rankings like 1/6*y + 5/6 give
+    # the certificates fractional oldrnk values; integral tightening of
+    # oldrnk atoms used to declare those certificates unsat, creating
+    # bogus accepting states and a TERMINATING verdict.
+    result = prove_termination_source("""
+program cycler(x, y):
+    while x >= x:
+        x := 3
+        if y >= x:
+            y := y + 3
+            y := x - y
+        else:
+            x := 3
+            y := y + 3
+""", AnalysisConfig(timeout=20.0, max_refinements=12,
+                    difference_state_limit=20_000))
+    assert result.verdict is not Verdict.TERMINATING
+    for module in result.modules:
+        assert validate_module(module) == []
+
+
 def test_loop_free_program_is_trivially_terminating():
     result = prove_termination_source("""
 program straight(x):
