@@ -28,7 +28,7 @@ from __future__ import annotations
 import random
 import time
 
-from conftest import TIMEOUT
+from conftest import TIMEOUT, write_bench_json
 
 from repro.automata.difference import difference
 from repro.automata.gba import ba
@@ -81,6 +81,7 @@ def timed_replay(program_gba, modules, *, cache: bool, rounds: int = 3):
 def test_kernel_cache_report():
     print(f"\n=== kernel cache ablation (harvest budget {TIMEOUT:.0f}s/program) ===")
     speedups = {}
+    families = {}
     for family in LARGEST:
         program_gba, modules = harvest_chain(family)
         cached_s, cached_v = timed_replay(program_gba, modules, cache=True)
@@ -89,11 +90,20 @@ def test_kernel_cache_report():
         # counts at every step of the chain
         assert cached_v == plain_v, family
         speedups[family] = plain_s / cached_s if cached_s else float("inf")
+        families[family] = {"modules": len(modules),
+                            "cached_seconds": cached_s,
+                            "uncached_seconds": plain_s,
+                            "speedup": speedups[family]}
         print(f"  {family:12s} ({len(modules):2d} modules): "
               f"cached {cached_s*1000:8.1f}ms  uncached {plain_s*1000:8.1f}ms  "
               f"speedup {speedups[family]:5.2f}x")
     headline = speedups[HEADLINE_FAMILY]
     print(f"  headline ({HEADLINE_FAMILY}, largest config): {headline:.2f}x")
+    write_bench_json("kernel_cache", {
+        "families": families,
+        "headline_family": HEADLINE_FAMILY,
+        "headline_speedup": headline,
+    })
     assert headline >= 1.5, (
         f"expected >= 1.5x on the largest configuration, got {headline:.2f}x")
 
@@ -137,6 +147,11 @@ def test_kernel_cache_corpus_agreement(corpus):
     print(f"\n=== kernel cache on the Fig. 4 corpus ({len(pairs)} differences) ===")
     print(f"  cached:   {(mid - start)*1000:8.1f}ms")
     print(f"  uncached: {(end - mid)*1000:8.1f}ms")
+    write_bench_json("kernel_cache_corpus", {
+        "differences": len(pairs),
+        "cached_seconds": mid - start,
+        "uncached_seconds": end - mid,
+    })
 
 
 # -- pytest-benchmark hooks --------------------------------------------------------

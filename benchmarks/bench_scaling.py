@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import TIMEOUT
+from conftest import TIMEOUT, write_bench_json
 
 from repro.benchgen.scaled import (interleaved_counters, nested_loops,
                                    phase_chain, sequential_loops)
@@ -40,11 +40,17 @@ def run_family(family_name: str, max_k: int = 4):
 
 def test_scaling_report():
     print(f"\n=== scaling curves (budget {TIMEOUT:.0f}s/program) ===")
+    families = {}
     for family in FAMILIES:
         print(f"  family {family}:")
+        rows = []
         for k, seconds, verdict, rounds, peak in run_family(family):
             print(f"    k={k}: {seconds:6.2f}s {verdict:12s} "
                   f"rounds={rounds:3d} peak-diff={peak}")
+            rows.append({"k": k, "seconds": seconds, "verdict": verdict,
+                         "rounds": rounds, "peak_difference_states": peak})
+        families[family] = rows
+    write_bench_json("scaling", {"families": families})
 
 
 def test_scaling_interleaved_benchmark(benchmark):

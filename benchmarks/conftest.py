@@ -6,11 +6,21 @@ the harness runs in minutes on a laptop while keeping the paper's
 
 - ``REPRO_BENCH_TIMEOUT``   per-program analysis budget in seconds (default 5)
 - ``REPRO_BENCH_RANDOM``    number of random SDBAs in the Fig. 4 corpus (default 30)
+- ``REPRO_BENCH_OUT``       directory for ``BENCH_*.json`` result files
+                            (default: current directory)
+
+Benches that track the perf trajectory call :func:`write_bench_json`,
+which stamps the run configuration and environment next to the
+measurements so ``BENCH_*.json`` files are comparable across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
@@ -19,6 +29,23 @@ from repro.core.config import AnalysisConfig
 
 TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "5"))
 N_RANDOM = int(os.environ.get("REPRO_BENCH_RANDOM", "30"))
+BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable ``BENCH_<name>.json`` result file."""
+    record = {
+        "bench": name,
+        "unix_time": time.time(),
+        "python": platform.python_version(),
+        "config": {"timeout": TIMEOUT, "n_random": N_RANDOM},
+    }
+    record.update(payload)
+    path = BENCH_OUT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"  wrote {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

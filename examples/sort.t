@@ -1,0 +1,6 @@
+program sort(i, j):
+    while i > 0:
+        j := 1
+        while j < i:
+            j := j + 1
+        i := i - 1

@@ -11,15 +11,24 @@ Options mirror the paper's evaluation axes::
     python -m repro --sequence iii examples.t      # stage sequence (iii)
     python -m repro --no-lazy --no-subsumption ... # NCSB-Original, no antichain
     python -m repro --timeout 30 examples.t
+
+Observability (see DESIGN.md, "Observability")::
+
+    python -m repro --trace trace.jsonl examples.t   # JSONL span trace
+    python -m repro.obs.report trace.jsonl           # per-phase breakdown
+    python -m repro --profile examples.t             # breakdown inline
+    python -m repro --stats-json stats.json examples.t
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.config import AnalysisConfig, StageSequence
 from repro.core.api import prove_termination
+from repro.obs.trace import Tracer, use_tracer
 from repro.program.parser import ParseError, parse_program
 
 
@@ -51,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="refinement-round budget (default 60)")
     parser.add_argument("--quiet", action="store_true",
                         help="print only the verdict")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a JSONL span trace of the run "
+                             "(render with python -m repro.obs.report)")
+    parser.add_argument("--stats-json", metavar="FILE", default=None,
+                        help="write the run's AnalysisStats (rounds, "
+                             "metrics) as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-phase time breakdown after "
+                             "the run")
     return parser
 
 
@@ -64,10 +82,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"parse error: {err}", file=sys.stderr)
         return 2
 
-    if args.portfolio:
-        from repro.core.api import prove_termination_portfolio
-        result = prove_termination_portfolio(program, timeout=args.timeout)
-    else:
+    def analyze():
+        if args.portfolio:
+            from repro.core.api import prove_termination_portfolio
+            return prove_termination_portfolio(program, timeout=args.timeout)
         stages = (StageSequence.SINGLE if args.single_stage
                   else StageSequence.BY_NAME[args.sequence])
         config = AnalysisConfig(stages=stages,
@@ -77,7 +95,30 @@ def main(argv: list[str] | None = None) -> int:
                                 via_semidet=args.via_semidet,
                                 timeout=args.timeout,
                                 max_refinements=args.max_refinements)
-        result = prove_termination(program, config)
+        return prove_termination(program, config)
+
+    tracer: Tracer | None = None
+    if args.trace or args.profile:
+        tracer = Tracer(args.trace)
+        try:
+            with use_tracer(tracer):
+                result = analyze()
+            # The engine scopes a fresh registry per run and snapshots
+            # it into the stats; mirror that snapshot into the trace.
+            tracer.record_metrics(result.stats.metrics)
+        finally:
+            tracer.close()
+    else:
+        result = analyze()
+
+    if args.stats_json:
+        payload = result.stats.to_dict()
+        payload["verdict"] = result.verdict.value
+        if result.attempts:
+            payload["attempts"] = [a.to_dict() for a in result.attempts]
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
 
     print(result.verdict.value.upper())
     if args.quiet:
@@ -93,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  [{k}] stage={module.stage:7s} "
                   f"|Q|={len(module.automaton.states):3d}  f(v) = {module.ranking}")
     print(f"\n{result.stats.summary()}")
+    if args.profile and tracer is not None:
+        from repro.obs.report import aggregate, render
+        print("\nper-phase time breakdown:")
+        print(render(aggregate(tracer.records)))
     return 0 if result.verdict.value != "unknown" else 1
 
 

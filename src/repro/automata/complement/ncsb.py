@@ -34,6 +34,7 @@ from repro.automata.classify import (is_complete, is_normalized_sdba,
                                      normalize_sdba, sdba_parts)
 from repro.automata.gba import GBA, State, Symbol
 from repro.automata.ops import complete
+from repro.obs import metrics as _metrics
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,9 @@ def prepare_sdba(auto: GBA, alphabet: Iterable[Symbol] | None = None) -> GBA:
 class _NCSBBase:
     """Shared structure of the two NCSB constructions."""
 
+    #: Metric-name segment; overridden per construction.
+    KIND = "ncsb"
+
     def __init__(self, auto: GBA):
         if not auto.is_ba():
             raise ValueError("NCSB expects a BA")
@@ -82,6 +86,8 @@ class _NCSBBase:
         self._q1, self._q2 = parts
         self._f = auto.accepting
         self._succ_cache: dict[tuple[MacroState, Symbol], list[MacroState]] = {}
+        self._metric_expansions = f"complement.{self.KIND}.expansions"
+        self._metric_macrostates = f"complement.{self.KIND}.macrostates"
 
     # -- ImplicitGBA protocol ------------------------------------------------
 
@@ -110,6 +116,8 @@ class _NCSBBase:
         if cached is None:
             cached = self._compute_successors(state, symbol)
             self._succ_cache[key] = cached
+            _metrics.inc(self._metric_expansions)
+            _metrics.inc(self._metric_macrostates, len(cached))
         return cached
 
     # -- shared delta helpers ---------------------------------------------------
@@ -141,6 +149,8 @@ class _NCSBBase:
 class NCSBOriginal(_NCSBBase):
     """NCSB-Original: Definition 5.1 (eager guessing)."""
 
+    KIND = "ncsb-original"
+
     def _compute_successors(self, state: MacroState, symbol: Symbol) -> list[MacroState]:
         n2 = self._delta1(state.n, symbol)
         s_min = self._delta2(state.s, symbol)
@@ -166,6 +176,8 @@ class NCSBOriginal(_NCSBBase):
 
 class NCSBLazy(_NCSBBase):
     """NCSB-Lazy: Section 5.3 (guessing delayed to breakpoints)."""
+
+    KIND = "ncsb-lazy"
 
     def _compute_successors(self, state: MacroState, symbol: Symbol) -> list[MacroState]:
         n2 = self._delta1(state.n, symbol)

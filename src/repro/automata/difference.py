@@ -28,6 +28,8 @@ from repro.automata.complement.ncsb import (MacroEncoder, MacroState,
 from repro.automata.emptiness import EmptyOracle, RemovalStats, remove_useless
 from repro.automata.gba import CachedImplicitGBA, GBA, ImplicitGBA, State
 from repro.automata.ops import ProductGBA
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
 
 
 class SubsumptionOracle(EmptyOracle):
@@ -103,6 +105,7 @@ class SubsumptionOracle(EmptyOracle):
         survivors.append(entry)
         self._size += len(survivors) - len(group)
         self._groups[q_a] = survivors
+        _metrics.gauge("difference.antichain.peak").max_of(self._size)
 
     def contains(self, state: State) -> bool:
         q_a, macro = self._split(state)
@@ -153,31 +156,52 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
     product itself, giving Algorithm 1 precomputed per-state sorted
     edge lists instead of a fresh alphabet sort per pushed state.
     """
-    comp, used_kind = implicit_complement(
-        subtrahend, minuend.alphabet, lazy=lazy, via_semidet=via_semidet,
-        kind=kind)
-    wrappers: list[CachedImplicitGBA] = []
-    left = minuend
-    if cache and not isinstance(left, (GBA, CachedImplicitGBA)):
-        left = CachedImplicitGBA(left)
-        wrappers.append(left)
-    product: ImplicitGBA = ProductGBA(left, comp)
-    if cache:
-        product = CachedImplicitGBA(product)
-        wrappers.append(product)
-    oracle: EmptyOracle | None = None
-    ncsb_kinds = (ComplementKind.SDBA_ORIGINAL, ComplementKind.SDBA_LAZY,
-                  ComplementKind.VIA_SEMIDET)
-    if subsumption and used_kind in ncsb_kinds:
-        uses_lazy = used_kind is ComplementKind.SDBA_LAZY or (
-            used_kind is ComplementKind.VIA_SEMIDET and lazy)
-        relation = subsumes_b if uses_lazy else subsumes
-        oracle = SubsumptionOracle(relation)
-    useful, stats = remove_useless(product, oracle=oracle,
-                                   state_limit=state_limit, deadline=deadline)
-    for wrapper in wrappers:
-        stats.cache_hits += wrapper.cache_hits
-        stats.cache_misses += wrapper.cache_misses
-    if isinstance(oracle, SubsumptionOracle):
-        stats.prefilter_skips = oracle.prefilter_skips
-    return DifferenceResult(useful, used_kind, stats)
+    tracer = get_tracer()
+    with tracer.span("difference") as span:
+        with tracer.span("complement") as comp_span:
+            comp, used_kind = implicit_complement(
+                subtrahend, minuend.alphabet, lazy=lazy,
+                via_semidet=via_semidet, kind=kind)
+            comp_span.set(kind=used_kind.value,
+                          module_states=len(subtrahend.states))
+        wrappers: list[CachedImplicitGBA] = []
+        left = minuend
+        if cache and not isinstance(left, (GBA, CachedImplicitGBA)):
+            left = CachedImplicitGBA(left)
+            wrappers.append(left)
+        product: ImplicitGBA = ProductGBA(left, comp)
+        if cache:
+            product = CachedImplicitGBA(product)
+            wrappers.append(product)
+        oracle: EmptyOracle | None = None
+        ncsb_kinds = (ComplementKind.SDBA_ORIGINAL, ComplementKind.SDBA_LAZY,
+                      ComplementKind.VIA_SEMIDET)
+        if subsumption and used_kind in ncsb_kinds:
+            uses_lazy = used_kind is ComplementKind.SDBA_LAZY or (
+                used_kind is ComplementKind.VIA_SEMIDET and lazy)
+            relation = subsumes_b if uses_lazy else subsumes
+            oracle = SubsumptionOracle(relation)
+        useful, stats = remove_useless(product, oracle=oracle,
+                                       state_limit=state_limit,
+                                       deadline=deadline)
+        for wrapper in wrappers:
+            stats.cache_hits += wrapper.cache_hits
+            stats.cache_misses += wrapper.cache_misses
+        if isinstance(oracle, SubsumptionOracle):
+            stats.prefilter_skips = oracle.prefilter_skips
+        registry = _metrics.registry()
+        registry.counter("difference.calls").inc()
+        registry.counter("difference.explored_states").inc(stats.explored_states)
+        registry.counter("difference.explored_edges").inc(stats.explored_edges)
+        registry.counter("difference.subsumption_hits").inc(stats.subsumption_hits)
+        registry.counter("difference.cache.hits").inc(stats.cache_hits)
+        registry.counter("difference.cache.misses").inc(stats.cache_misses)
+        registry.counter(f"difference.by_kind.{used_kind.value}").inc()
+        registry.counter(
+            f"difference.by_kind.{used_kind.value}.explored_states").inc(
+                stats.explored_states)
+        registry.histogram("difference.explored_states_per_call").observe(
+            stats.explored_states)
+        span.set(kind=used_kind.value, explored=stats.explored_states,
+                 useful=stats.useful_states)
+        return DifferenceResult(useful, used_kind, stats)

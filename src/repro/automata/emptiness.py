@@ -29,6 +29,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.automata.gba import GBA, ImplicitGBA, State, Symbol
 from repro.automata.words import UPWord
+from repro.obs.trace import get_tracer
 
 
 class EmptyOracle:
@@ -99,7 +100,32 @@ def remove_useless(auto: ImplicitGBA, *,
     ``oracle`` replaces the exact ``emp`` set (subsumption pruning);
     ``on_transition`` observes every explored edge; ``state_limit``
     raises :class:`ExplorationLimit` when the traversal grows too big.
+
+    With a tracer installed, the traversal runs inside an ``emptiness``
+    span stamped with the exploration counters.
     """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return _remove_useless(auto, oracle=oracle, on_transition=on_transition,
+                               state_limit=state_limit, deadline=deadline)
+    with tracer.span("emptiness") as span:
+        result, stats = _remove_useless(auto, oracle=oracle,
+                                        on_transition=on_transition,
+                                        state_limit=state_limit,
+                                        deadline=deadline)
+        span.set(explored_states=stats.explored_states,
+                 explored_edges=stats.explored_edges,
+                 useful_states=stats.useful_states,
+                 subsumption_hits=stats.subsumption_hits)
+        return result, stats
+
+
+def _remove_useless(auto: ImplicitGBA, *,
+                    oracle: EmptyOracle | None = None,
+                    on_transition: Callable[[State, Symbol, State], None] | None = None,
+                    state_limit: int | None = None,
+                    deadline: float | None = None,
+                    ) -> tuple[GBA, RemovalStats]:
     oracle = oracle if oracle is not None else EmptyOracle()
     stats = RemovalStats()
     all_conditions = frozenset(range(auto.acceptance_count))

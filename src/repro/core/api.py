@@ -12,9 +12,11 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.config import AnalysisConfig
 from repro.core.refinement import RefinementEngine, TerminationResult, Verdict
-from repro.core.stats import StatsCollector
+from repro.core.stats import AnalysisStats, StatsCollector
 from repro.program.ast import Program
 from repro.program.cfg import build_cfg
 from repro.program.parser import parse_program
@@ -51,21 +53,33 @@ DEFAULT_PORTFOLIO: tuple[AnalysisConfig, ...] = (
 def prove_termination_portfolio(program: Program,
                                 configs: tuple[AnalysisConfig, ...] = DEFAULT_PORTFOLIO,
                                 timeout: float | None = None,
+                                collector_factory: Callable[[], StatsCollector] | None = None,
                                 ) -> TerminationResult:
     """Run configurations in sequence until one produces a verdict.
 
     ``timeout`` (if given) is split evenly across the configurations;
     the last UNKNOWN result is returned when none succeeds.
+
+    ``collector_factory`` builds one :class:`StatsCollector` per
+    configuration (a collector's wall-clock starts at construction, so
+    a single instance cannot be shared across runs); the returned
+    result carries the winning run's stats in ``result.stats`` and the
+    stats of *every* attempted configuration, in order, in
+    ``result.attempts``.
     """
     if not configs:
         raise ValueError("the portfolio needs at least one configuration")
     budget = timeout / len(configs) if timeout is not None else None
+    attempts: list[AnalysisStats] = []
     result: TerminationResult | None = None
     for config in configs:
         if budget is not None:
             config = config.with_(timeout=budget)
-        result = prove_termination(program, config)
+        collector = collector_factory() if collector_factory is not None else None
+        result = prove_termination(program, config, collector)
+        attempts.append(result.stats)
         if result.verdict is not Verdict.UNKNOWN:
-            return result
+            break
     assert result is not None
+    result.attempts = attempts
     return result

@@ -14,6 +14,13 @@ Starting from the program GBA, the engine repeatedly
 
 until the remainder is empty (TERMINATING), a nontermination witness is
 found (NONTERMINATING), or a budget is exhausted (UNKNOWN).
+
+Each run is observed end to end: an ``analysis`` span wraps the loop,
+every iteration gets a ``round`` span (with ``lasso-search``,
+``prove-lasso``, and ``generalize`` children; ``difference`` /
+``emptiness`` / ``solver-call`` spans open further down the stack), and
+a fresh metrics registry is scoped to the run so its snapshot lands in
+``AnalysisStats.metrics``.
 """
 
 from __future__ import annotations
@@ -32,6 +39,9 @@ from repro.core.config import AnalysisConfig
 from repro.core.module import CertifiedModule
 from repro.core.stages import Stage, build_finite_module, generalize
 from repro.core.stats import AnalysisStats, RefinementRound, StatsCollector
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.program.cfg import ControlFlowGraph
 from repro.ranking.lasso import Lasso
 from repro.ranking.nontermination import NontermWitness
@@ -54,6 +64,9 @@ class TerminationResult:
     witness_word: UPWord | None = None
     stats: AnalysisStats = field(default_factory=AnalysisStats)
     reason: str | None = None
+    #: Per-configuration stats of a portfolio run (the winner's included;
+    #: empty for direct :func:`~repro.core.api.prove_termination` calls).
+    attempts: list[AnalysisStats] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return self.verdict is Verdict.TERMINATING
@@ -73,6 +86,17 @@ class RefinementEngine:
         self._collector = collector or StatsCollector()
 
     def run(self) -> TerminationResult:
+        tracer = get_tracer()
+        registry = MetricsRegistry()
+        with obs_metrics.use_registry(registry):
+            with tracer.span("analysis", program=self._cfg.name,
+                             config=self._config.describe()) as span:
+                result = self._run(tracer, registry)
+                span.set(verdict=result.verdict.value,
+                         rounds=result.stats.iterations)
+        return result
+
+    def _run(self, tracer, registry: MetricsRegistry) -> TerminationResult:
         config = self._config
         collector = self._collector
         deadline = (time.perf_counter() + config.timeout
@@ -81,91 +105,111 @@ class RefinementEngine:
         alphabet = program_gba.alphabet
         current = program_gba
         modules: list[CertifiedModule] = []
+        round_start = time.perf_counter()
 
         def finish(verdict: Verdict, *, witness=None, word=None,
                    reason: str | None = None) -> TerminationResult:
             stats = collector.finish(self._cfg.name, config.describe(), reason)
+            stats.metrics = registry.snapshot()
             return TerminationResult(verdict, modules, witness, word, stats, reason)
 
-        for _ in range(config.max_refinements):
+        def record(round_stats: RefinementRound) -> None:
+            round_stats.seconds = time.perf_counter() - round_start
+            registry.counter("refinement.rounds").inc()
+            registry.histogram("round.seconds").observe(round_stats.seconds)
+            collector.stats.record_round(round_stats)
+
+        for index in range(config.max_refinements):
             if deadline is not None and time.perf_counter() > deadline:
                 return finish(Verdict.UNKNOWN, reason="timeout")
             round_start = time.perf_counter()
-            word = find_accepting_lasso(current)
-            if word is None:
-                return finish(Verdict.TERMINATING)
+            with tracer.span("round", index=index) as round_span:
+                with tracer.span("lasso-search"):
+                    word = find_accepting_lasso(current)
+                if word is None:
+                    return finish(Verdict.TERMINATING)
+                round_span.set(word=str(word))
 
-            lasso = Lasso.from_word(word)
-            proof = prove_lasso(
-                lasso, check_nontermination=config.check_nontermination)
-            round_stats = RefinementRound(word=str(word),
-                                          proof_kind=proof.kind.value)
-            if proof.kind is ProofKind.NONTERMINATING:
-                collector.stats.record_round(round_stats)
-                # Report the canonicalized lasso's word, not the sampled
-                # one: Lasso.from_word may rotate the period, and the
-                # nontermination witness state is a loop-head state of
-                # the *rotated* loop -- replaying the sampled period from
-                # it could block at the rotated-away guard.
-                return finish(Verdict.NONTERMINATING,
-                              witness=proof.witness, word=lasso.word())
-            if not proof.is_terminating:
-                collector.stats.record_round(round_stats)
-                return finish(Verdict.UNKNOWN, word=word,
-                              reason=f"lasso not provable: {word}")
+                lasso = Lasso.from_word(word)
+                with tracer.span("prove-lasso") as proof_span:
+                    proof = prove_lasso(
+                        lasso,
+                        check_nontermination=config.check_nontermination)
+                    proof_span.set(kind=proof.kind.value)
+                round_span.set(proof=proof.kind.value)
+                round_stats = RefinementRound(word=str(word),
+                                              proof_kind=proof.kind.value)
+                if proof.kind is ProofKind.NONTERMINATING:
+                    record(round_stats)
+                    # Report the canonicalized lasso's word, not the sampled
+                    # one: Lasso.from_word may rotate the period, and the
+                    # nontermination witness state is a loop-head state of
+                    # the *rotated* loop -- replaying the sampled period from
+                    # it could block at the rotated-away guard.
+                    return finish(Verdict.NONTERMINATING,
+                                  witness=proof.witness, word=lasso.word())
+                if not proof.is_terminating:
+                    record(round_stats)
+                    return finish(Verdict.UNKNOWN, word=word,
+                                  reason=f"lasso not provable: {word}")
 
-            module = generalize(proof, config.stages, alphabet,
-                                state_budget=config.stage_state_budget,
-                                interpolants=config.interpolant_modules)
-            round_stats.stage = module.stage
-            round_stats.module_states = len(module.automaton.states)
-            # With interpolant modules on, the O(1)-complement finite
-            # module still comes for free: subtract it in the same round
-            # so coverage is a strict superset of the stage-1 path.
-            companion: CertifiedModule | None = None
-            if (config.interpolant_modules
-                    and proof.kind is ProofKind.STEM_INFEASIBLE
-                    and module.stage != Stage.FINITE.value):
-                companion = build_finite_module(proof, alphabet)
-            try:
-                result = difference(
-                    current, module.automaton,
-                    lazy=config.lazy_complement,
-                    subsumption=config.subsumption,
-                    via_semidet=config.via_semidet,
-                    cache=config.kernel_cache,
-                    state_limit=config.difference_state_limit,
-                    deadline=deadline)
-            except ExplorationLimit:
-                collector.stats.record_round(round_stats)
-                return finish(Verdict.UNKNOWN, reason="difference state limit")
-            except ExplorationTimeout:
-                collector.stats.record_round(round_stats)
-                return finish(Verdict.UNKNOWN, reason="timeout")
-            if result.kind in (ComplementKind.SDBA_ORIGINAL,
-                               ComplementKind.SDBA_LAZY):
-                # the Figure 4 corpus: every SDBA sent to NCSB
-                collector.observe_sdba(module.automaton)
-            collector.observe_difference(round_stats, result)
-            current = result.automaton
-            if companion is not None and not result.is_empty:
+                with tracer.span("generalize") as gen_span:
+                    module = generalize(
+                        proof, config.stages, alphabet,
+                        state_budget=config.stage_state_budget,
+                        interpolants=config.interpolant_modules)
+                    gen_span.set(stage=module.stage,
+                                 states=len(module.automaton.states))
+                round_stats.stage = module.stage
+                round_stats.module_states = len(module.automaton.states)
+                round_span.set(stage=module.stage)
+                # With interpolant modules on, the O(1)-complement finite
+                # module still comes for free: subtract it in the same round
+                # so coverage is a strict superset of the stage-1 path.
+                companion: CertifiedModule | None = None
+                if (config.interpolant_modules
+                        and proof.kind is ProofKind.STEM_INFEASIBLE
+                        and module.stage != Stage.FINITE.value):
+                    companion = build_finite_module(proof, alphabet)
                 try:
-                    extra = difference(
-                        current, companion.automaton,
+                    result = difference(
+                        current, module.automaton,
                         lazy=config.lazy_complement,
                         subsumption=config.subsumption,
+                        via_semidet=config.via_semidet,
                         cache=config.kernel_cache,
                         state_limit=config.difference_state_limit,
                         deadline=deadline)
-                except (ExplorationLimit, ExplorationTimeout):
-                    extra = None
-                if extra is not None:
-                    modules.append(companion)
-                    collector.stats.modules_by_stage[companion.stage] += 1
-                    current = extra.automaton
-            round_stats.seconds = time.perf_counter() - round_start
-            collector.stats.record_round(round_stats)
-            modules.append(module)
-            if not current.initial_states():
-                return finish(Verdict.TERMINATING)
+                except ExplorationLimit:
+                    record(round_stats)
+                    return finish(Verdict.UNKNOWN,
+                                  reason="difference state limit")
+                except ExplorationTimeout:
+                    record(round_stats)
+                    return finish(Verdict.UNKNOWN, reason="timeout")
+                if result.kind in (ComplementKind.SDBA_ORIGINAL,
+                                   ComplementKind.SDBA_LAZY):
+                    # the Figure 4 corpus: every SDBA sent to NCSB
+                    collector.observe_sdba(module.automaton)
+                collector.observe_difference(round_stats, result)
+                current = result.automaton
+                if companion is not None and not result.is_empty:
+                    try:
+                        extra = difference(
+                            current, companion.automaton,
+                            lazy=config.lazy_complement,
+                            subsumption=config.subsumption,
+                            cache=config.kernel_cache,
+                            state_limit=config.difference_state_limit,
+                            deadline=deadline)
+                    except (ExplorationLimit, ExplorationTimeout):
+                        extra = None
+                    if extra is not None:
+                        modules.append(companion)
+                        collector.stats.modules_by_stage[companion.stage] += 1
+                        current = extra.automaton
+                record(round_stats)
+                modules.append(module)
+                if not current.initial_states():
+                    return finish(Verdict.TERMINATING)
         return finish(Verdict.UNKNOWN, reason="refinement budget exhausted")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.automata.difference import DifferenceResult
 from repro.automata.gba import GBA
@@ -50,6 +50,9 @@ class AnalysisStats:
     total_seconds: float = 0.0
     peak_difference_states: int = 0
     gave_up_reason: str | None = None
+    #: Snapshot of the run's metrics registry (see :mod:`repro.obs.metrics`):
+    #: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def iterations(self) -> int:
@@ -66,6 +69,33 @@ class AnalysisStats:
         stages = ", ".join(f"{k}={v}" for k, v in sorted(self.modules_by_stage.items()))
         return (f"{self.program} [{self.config}]: {self.iterations} rounds, "
                 f"modules: {stages or 'none'}, {self.total_seconds:.3f}s")
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the full stats (``--stats-json`` payload)."""
+        return {
+            "program": self.program,
+            "config": self.config,
+            "iterations": self.iterations,
+            "total_seconds": self.total_seconds,
+            "peak_difference_states": self.peak_difference_states,
+            "gave_up_reason": self.gave_up_reason,
+            "modules_by_stage": dict(self.modules_by_stage),
+            "rounds": [asdict(r) for r in self.rounds],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisStats":
+        """Inverse of :meth:`to_dict` (extra keys are ignored)."""
+        stats = cls(program=data.get("program", ""),
+                    config=data.get("config", ""),
+                    total_seconds=data.get("total_seconds", 0.0),
+                    peak_difference_states=data.get("peak_difference_states", 0),
+                    gave_up_reason=data.get("gave_up_reason"),
+                    metrics=data.get("metrics", {}))
+        stats.rounds = [RefinementRound(**r) for r in data.get("rounds", ())]
+        stats.modules_by_stage = Counter(data.get("modules_by_stage", {}))
+        return stats
 
 
 class StatsCollector:

@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 
 from repro.logic.atoms import Atom, Rel
 from repro.logic.terms import LinTerm
+from repro.obs import metrics as _metrics
 
 
 class _Contradiction(Exception):
@@ -98,6 +99,7 @@ def eliminate(atoms: Sequence[Atom], names: Iterable[str], *,
     result iff it extends to a valuation of all variables satisfying the
     input.
     """
+    _metrics.inc("logic.fm.eliminations")
     try:
         current = _simplify(atoms, tighten)
         for name in names:
@@ -113,6 +115,7 @@ def eliminate(atoms: Sequence[Atom], names: Iterable[str], *,
 
 def satisfiable(atoms: Sequence[Atom], *, tighten: bool = True) -> bool:
     """Exact rational satisfiability of a conjunction of atoms."""
+    _metrics.inc("logic.fm.sat_checks")
     names = set()
     for atom in atoms:
         names |= atom.variables()
@@ -200,6 +203,7 @@ def find_model(atoms: Sequence[Atom], *, tighten: bool = True,
     selected variables (used by witness extraction to keep models small
     and reproducible).
     """
+    _metrics.inc("logic.fm.models")
     names: list[str] = sorted({n for atom in atoms for n in atom.variables()})
     # Eliminate back-to-front, remembering the systems so values can be
     # back-substituted in reverse order.

@@ -14,6 +14,7 @@ from typing import Iterable, Mapping
 from repro.logic import fourier_motzkin as fm
 from repro.logic.atoms import Atom, Rel, negate_atom
 from repro.logic.terms import Coeff, LinTerm
+from repro.obs import metrics as _metrics
 
 
 class LinConj:
@@ -100,6 +101,7 @@ class LinConj:
         Checked as UNSAT of ``self AND NOT atom``; the negation of an
         equality is a disjunction, so both branches must be unsat.
         """
+        _metrics.inc("logic.entailment_calls")
         if not self.is_sat():
             return True
         for neg in negate_atom(atom):

@@ -29,6 +29,9 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping
 
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
+
 Coeffs = Mapping[int, "int | Fraction"]
 
 
@@ -162,6 +165,26 @@ class LinearProgram:
         return columns, rows, b, c
 
     def _solve(self, objective: dict[int, Fraction], sense: int) -> LPResult:
+        registry = _metrics.registry()
+        registry.counter("logic.lp.solves").inc()
+        pivots = registry.counter("logic.lp.pivots")
+        pivots_before = pivots.value
+        tracer = get_tracer()
+        if not tracer.enabled:
+            result = self._solve_inner(objective, sense)
+            registry.histogram("lp.pivots_per_solve").observe(
+                pivots.value - pivots_before)
+            return result
+        with tracer.span("solver-call", kind="lp", vars=len(self._names),
+                         constraints=len(self._constraints)) as span:
+            result = self._solve_inner(objective, sense)
+            span.set(status=result.status.value,
+                     pivots=pivots.value - pivots_before)
+        registry.histogram("lp.pivots_per_solve").observe(
+            pivots.value - pivots_before)
+        return result
+
+    def _solve_inner(self, objective: dict[int, Fraction], sense: int) -> LPResult:
         columns, rows, b, c = self._standard_form(objective, sense)
         m, n = len(rows), len(columns)
 
@@ -211,6 +234,7 @@ class LinearProgram:
 
     @staticmethod
     def _pivot(tableau: list[list[Fraction]], basis: list[int], row: int, col: int) -> None:
+        _metrics.inc("logic.lp.pivots")
         pivot = tableau[row][col]
         tableau[row] = [v / pivot for v in tableau[row]]
         for k in range(len(tableau)):

@@ -1,0 +1,166 @@
+"""Per-phase time breakdown of a trace file.
+
+``python -m repro.obs.report trace.jsonl`` aggregates the span records
+written by :class:`repro.obs.trace.Tracer` into a per-phase table:
+call counts, cumulative seconds (span durations summed by name), self
+seconds (duration minus direct children -- the phase's own work), and
+the top-k hottest individual spans.  ``--json`` emits the same
+breakdown machine-readably.
+
+Self times partition the traced wall-clock exactly: summed over all
+phases they equal the cumulative time of the root spans, so the
+"accounted" line measures how much of the file's wall-clock extent the
+spans cover.  (Cumulative time double-counts a phase nested under
+itself, as in any tree profiler; no span in the shipped taxonomy is
+recursive.)
+
+The aggregation helpers are reused by ``python -m repro --profile``,
+which renders the same table from the in-memory records of the run's
+tracer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseAgg:
+    """Aggregate over every span sharing one name."""
+
+    name: str
+    calls: int = 0
+    cumulative: float = 0.0
+    self_seconds: float = 0.0
+    max_dur: float = 0.0
+
+
+@dataclass
+class TraceReport:
+    """The aggregated view of one trace."""
+
+    phases: dict[str, PhaseAgg] = field(default_factory=dict)
+    wall: float = 0.0
+    spans: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def accounted(self) -> float:
+        """Fraction of the wall-clock extent covered by span self-times."""
+        if self.wall <= 0:
+            return 0.0
+        return sum(p.self_seconds for p in self.phases.values()) / self.wall
+
+    def hottest(self, k: int = 5) -> list[dict]:
+        return sorted(self.spans, key=lambda s: s["dur"], reverse=True)[:k]
+
+    def to_dict(self, top: int = 5) -> dict:
+        return {
+            "wall_seconds": self.wall,
+            "accounted": self.accounted,
+            "phases": {
+                name: {"calls": p.calls, "cumulative_seconds": p.cumulative,
+                       "self_seconds": p.self_seconds, "max_seconds": p.max_dur}
+                for name, p in sorted(self.phases.items(),
+                                      key=lambda kv: -kv[1].self_seconds)},
+            "hottest": [{"name": s["name"], "dur": s["dur"], "t0": s["t0"],
+                         "attrs": s.get("attrs", {})}
+                        for s in self.hottest(top)],
+            "metrics": self.metrics,
+        }
+
+
+def load_records(path: str) -> list[dict]:
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def aggregate(records: list[dict]) -> TraceReport:
+    """Fold span records into per-phase aggregates."""
+    report = TraceReport()
+    spans = [r for r in records if r.get("type") == "span"]
+    report.spans = spans
+    for record in records:
+        if record.get("type") == "metrics":
+            report.metrics = record.get("data", {})
+    child_time: dict[int, float] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + span["dur"]
+    t_min, t_max = float("inf"), float("-inf")
+    for span in spans:
+        agg = report.phases.get(span["name"])
+        if agg is None:
+            agg = report.phases[span["name"]] = PhaseAgg(span["name"])
+        agg.calls += 1
+        agg.cumulative += span["dur"]
+        agg.self_seconds += span["dur"] - child_time.get(span["id"], 0.0)
+        agg.max_dur = max(agg.max_dur, span["dur"])
+        t_min = min(t_min, span["t0"])
+        t_max = max(t_max, span["t0"] + span["dur"])
+    report.wall = max(0.0, t_max - t_min) if spans else 0.0
+    return report
+
+
+def render(report: TraceReport, top: int = 5) -> str:
+    """The human-readable per-phase table."""
+    lines = []
+    wall = report.wall
+    lines.append(f"{'phase':<22} {'calls':>7} {'cum(s)':>10} {'self(s)':>10} "
+                 f"{'self%':>7} {'avg(ms)':>9} {'max(ms)':>9}")
+    ordered = sorted(report.phases.values(), key=lambda p: -p.self_seconds)
+    for p in ordered:
+        pct = 100.0 * p.self_seconds / wall if wall else 0.0
+        avg_ms = 1000.0 * p.cumulative / p.calls if p.calls else 0.0
+        lines.append(f"{p.name:<22} {p.calls:>7d} {p.cumulative:>10.4f} "
+                     f"{p.self_seconds:>10.4f} {pct:>6.1f}% "
+                     f"{avg_ms:>9.2f} {1000.0 * p.max_dur:>9.2f}")
+    lines.append(f"accounted: {100.0 * report.accounted:.1f}% of "
+                 f"{wall:.4f}s wall-clock")
+    hottest = report.hottest(top)
+    if hottest:
+        lines.append(f"\nhottest spans (top {len(hottest)}):")
+        for s in hottest:
+            attrs = s.get("attrs") or {}
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+            lines.append(f"  {1000.0 * s['dur']:>9.2f}ms  {s['name']:<18} {detail}")
+    counters = report.metrics.get("counters") if report.metrics else None
+    if counters:
+        lines.append("\nmetrics (counters):")
+        for name, value in counters.items():
+            lines.append(f"  {name:<40} {value}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-phase time breakdown of a repro trace file.")
+    parser.add_argument("trace", help="JSONL trace written by --trace")
+    parser.add_argument("--top", type=int, default=5,
+                        help="number of hottest spans to list (default 5)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the breakdown as JSON instead of a table")
+    args = parser.parse_args(argv)
+    report = aggregate(load_records(args.trace))
+    if not report.spans:
+        print("no span records in trace", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(args.top), indent=2))
+    else:
+        print(render(report, args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

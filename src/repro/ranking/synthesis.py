@@ -24,6 +24,8 @@ from fractions import Fraction
 from repro.logic.linconj import TRUE, LinConj
 from repro.logic.lp import LinearProgram, LPStatus
 from repro.logic.terms import LinTerm
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
 from repro.ranking.farkas import add_farkas_implication, relation_matrix
 from repro.ranking.lasso import Lasso, LoopRelation, primed
 from repro.ranking.nontermination import (NontermWitness,
@@ -74,15 +76,30 @@ def synthesize_ranking(relation: LoopRelation,
     backstop.  Returns ``None`` when no linear ranking function exists
     for the (rationally relaxed) relation.
     """
+    tracer = get_tracer()
+    with tracer.span("synthesize-ranking") as span:
+        result = _synthesize_ranking(relation, invariant, span)
+    return result
+
+
+def _synthesize_ranking(relation: LoopRelation, invariant: LinConj,
+                        span) -> RankingFunction | None:
+    _metrics.inc("ranking.syntheses")
     rel = relation.rel.and_(invariant)
     if rel.is_unsat():
         # The empty relation is ranked by anything; callers treat this
         # case separately (loop-infeasible), but stay total here.
+        span.set(method="trivial", found=True)
         return RankingFunction(LinTerm({}, 0))
     variables = relation.variables
-    for candidate in _candidate_rankings(variables):
+    for tried, candidate in enumerate(_candidate_rankings(variables), start=1):
         if _candidate_valid(rel, variables, candidate):
+            _metrics.inc("ranking.candidates_tried", tried)
+            span.set(method="candidate", found=True, candidates=tried)
             return RankingFunction(candidate)
+    _metrics.inc("ranking.candidates_tried",
+                 len(_candidate_rankings(variables)))
+    _metrics.inc("ranking.lp_syntheses")
     columns = list(variables) + [primed(v) for v in variables]
     matrix = relation_matrix(rel, columns)
 
@@ -105,6 +122,7 @@ def synthesize_ranking(relation: LoopRelation,
     add_farkas_implication(lp, matrix, dec_coeffs, None, Fraction(-1), "dec")
 
     result = lp.check_feasible()
+    span.set(method="farkas", found=result.status is LPStatus.OPTIMAL)
     if result.status is not LPStatus.OPTIMAL:
         return None
     coeffs = {v: result.assignment[coeff_vars[v]] for v in variables}
