@@ -8,6 +8,10 @@ the harness runs in minutes on a laptop while keeping the paper's
 - ``REPRO_BENCH_RANDOM``    number of random SDBAs in the Fig. 4 corpus (default 30)
 - ``REPRO_BENCH_OUT``       directory for ``BENCH_*.json`` result files
                             (default: current directory)
+- ``REPRO_BENCH_WORKERS``   >1 dispatches suite sweeps through the
+                            :mod:`repro.runner` worker pool (hard
+                            per-program deadlines, crash isolation);
+                            default 0 keeps the historical in-process path
 
 Benches that track the perf trajectory call :func:`write_bench_json`,
 which stamps the run configuration and environment next to the
@@ -30,6 +34,7 @@ from repro.core.config import AnalysisConfig
 TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "5"))
 N_RANDOM = int(os.environ.get("REPRO_BENCH_RANDOM", "30"))
 BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 
 def write_bench_json(name: str, payload: dict) -> Path:
@@ -78,8 +83,18 @@ CONFIGS = {
 }
 
 
-def run_suite(programs, config):
-    """Analyze every program; returns (results, solved, unsolved)."""
+def run_suite(programs, config, workers: int | None = None):
+    """Analyze every program; returns (results, solved, unsolved).
+
+    With ``workers`` > 1 (default: ``REPRO_BENCH_WORKERS``) programs
+    are dispatched through the :mod:`repro.runner` worker pool --
+    hard deadlines and crash isolation, at the price of results being
+    reconstructed from the rows workers ship back (verdict + stats;
+    no module automata).
+    """
+    workers = WORKERS if workers is None else workers
+    if workers > 1:
+        return _run_suite_pooled(programs, config, workers)
     from repro.core.api import prove_termination
 
     results = {}
@@ -88,6 +103,35 @@ def run_suite(programs, config):
         result = prove_termination(bench.parse(), config)
         results[bench.name] = result
         if result.verdict.value == bench.expected:
+            solved += 1
+        else:
+            unsolved += 1
+    return results, solved, unsolved
+
+
+def _run_suite_pooled(programs, config, workers: int):
+    from repro.core.refinement import TerminationResult, Verdict
+    from repro.core.stats import AnalysisStats
+    from repro.runner.pool import WorkerPool, analysis_task
+
+    payloads = [{"name": bench.name, "source": bench.source,
+                 "expected": bench.expected, "config": config.to_dict(),
+                 "timeout": config.timeout} for bench in programs]
+    pool = WorkerPool(workers=workers, task=analysis_task,
+                      task_timeout=config.timeout)
+    outcomes = pool.run(payloads)
+    results = {}
+    solved = unsolved = 0
+    for bench, outcome in zip(programs, outcomes):
+        row = outcome.result if outcome.status == "ok" and outcome.result else {}
+        verdict = Verdict(row.get("verdict", "unknown"))
+        stats = (AnalysisStats.from_dict(row["stats"]) if row.get("stats")
+                 else AnalysisStats(program=bench.name,
+                                    total_seconds=outcome.seconds,
+                                    gave_up_reason=outcome.status))
+        results[bench.name] = TerminationResult(verdict, stats=stats,
+                                                reason=row.get("reason"))
+        if verdict.value == bench.expected:
             solved += 1
         else:
             unsolved += 1

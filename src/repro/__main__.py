@@ -1,16 +1,24 @@
-"""Command-line interface:  python -m repro [options] program.t
+"""Command-line interface:  python -m repro [run|bench|race|report] ...
 
-Analyzes a program file (the mini-language of :mod:`repro.program.parser`)
-and prints the verdict, the certified-module decomposition, and
-per-round statistics.
+Single-program analysis (``run``, also the default when the first
+argument is a file): analyzes a program of the mini-language of
+:mod:`repro.program.parser` and prints the verdict, the
+certified-module decomposition, and per-round statistics.
 
 Options mirror the paper's evaluation axes::
 
     python -m repro examples.t                     # multi-stage, all opts
+    python -m repro run --json examples.t          # one JSON object
     python -m repro --single-stage examples.t      # the [33] baseline
     python -m repro --sequence iii examples.t      # stage sequence (iii)
     python -m repro --no-lazy --no-subsumption ... # NCSB-Original, no antichain
     python -m repro --timeout 30 examples.t
+
+The evaluation runner (see DESIGN.md, "Evaluation runner")::
+
+    python -m repro bench manifest.json --workers 4 --task-timeout 5
+    python -m repro race examples/sort.t --timeout 30
+    python -m repro report results.jsonl
 
 Observability (see DESIGN.md, "Observability")::
 
@@ -69,10 +77,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print the per-phase time breakdown after "
                              "the run")
+    parser.add_argument("--json", action="store_true",
+                        help="print one JSON object (verdict, reason, "
+                             "rounds, seconds, module kinds) to stdout")
     return parser
 
 
+#: Subcommands of ``python -m repro``; anything else is a program file
+#: for the (default) single-run analysis.
+_SUBCOMMANDS = ("run", "bench", "race", "report")
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "bench":
+            from repro.runner.cli import bench_main
+            return bench_main(rest)
+        if command == "race":
+            from repro.runner.cli import race_main
+            return race_main(rest)
+        if command == "report":
+            from repro.runner.report import main as report_main
+            return report_main(rest)
+        argv = rest  # "run" is the explicit name of the default mode
+    return run_single(argv)
+
+
+def run_single(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
     source = (sys.stdin.read() if args.file == "-"
               else open(args.file, encoding="utf-8").read())
@@ -119,6 +152,24 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.stats_json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
+
+    if args.json:
+        stats = result.stats
+        payload = {
+            "verdict": result.verdict.value,
+            "reason": result.reason,
+            "program": stats.program,
+            "config": stats.config,
+            "rounds": stats.iterations,
+            "seconds": stats.total_seconds,
+            "modules_by_stage": dict(stats.modules_by_stage),
+            "module_kinds": [m.stage for m in result.modules],
+            "stats": stats.to_dict(),
+        }
+        if result.witness_word is not None:
+            payload["witness_word"] = str(result.witness_word)
+        print(json.dumps(payload, indent=2))
+        return 0 if result.verdict.value != "unknown" else 1
 
     print(result.verdict.value.upper())
     if args.quiet:

@@ -298,7 +298,7 @@ def is_empty_naive(auto: GBA) -> bool:
     return find_accepting_lasso(auto) is None
 
 
-def _tarjan_sccs(auto: GBA) -> list[list[State]]:
+def _tarjan_sccs(auto: GBA, deadline: float | None = None) -> list[list[State]]:
     index: dict[State, int] = {}
     low: dict[State, int] = {}
     on_stack: set[State] = set()
@@ -317,7 +317,14 @@ def _tarjan_sccs(auto: GBA) -> list[list[State]]:
                 seen.add(t)
                 queue.append(t)
 
+    steps = [0]
+
     def strongconnect(v: State) -> None:
+        # One unconditional check per root, then every 512 loop steps:
+        # small automata still notice an expired deadline, big ones pay
+        # one perf_counter call per half-K states.
+        if deadline is not None and time.perf_counter() > deadline:
+            raise ExplorationTimeout(deadline)
         work: list[tuple[State, Iterator[State]]] = [
             (v, iter(sorted(auto.post(v), key=repr)))]
         index[v] = low[v] = counter[0]
@@ -325,6 +332,10 @@ def _tarjan_sccs(auto: GBA) -> list[list[State]]:
         stack.append(v)
         on_stack.add(v)
         while work:
+            steps[0] += 1
+            if (deadline is not None and steps[0] % 512 == 0
+                    and time.perf_counter() > deadline):
+                raise ExplorationTimeout(deadline)
             node, it = work[-1]
             advanced = False
             for w in it:
@@ -371,15 +382,19 @@ def _scc_is_accepting(auto: GBA, component: list[State]) -> bool:
     return not needed
 
 
-def find_accepting_lasso(auto: GBA) -> UPWord | None:
+def find_accepting_lasso(auto: GBA,
+                         deadline: float | None = None) -> UPWord | None:
     """Extract an accepted ultimately periodic word, or None if empty.
 
     Finds a reachable accepting SCC, builds a stem by BFS from an
     initial state, and a period inside the SCC that visits a state of
-    every acceptance set before closing the cycle.
+    every acceptance set before closing the cycle.  ``deadline``
+    (absolute ``perf_counter`` seconds) makes the SCC sweep raise
+    :class:`ExplorationTimeout` instead of overrunning a cooperative
+    budget on a large remainder.
     """
     target_scc: set[State] | None = None
-    for component in _tarjan_sccs(auto):
+    for component in _tarjan_sccs(auto, deadline=deadline):
         if _scc_is_accepting(auto, component):
             target_scc = set(component)
             break

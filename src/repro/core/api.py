@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable
 
 from repro.core.config import AnalysisConfig
@@ -54,26 +55,44 @@ def prove_termination_portfolio(program: Program,
                                 configs: tuple[AnalysisConfig, ...] = DEFAULT_PORTFOLIO,
                                 timeout: float | None = None,
                                 collector_factory: Callable[[], StatsCollector] | None = None,
+                                parallel: bool = False,
+                                workers: int | None = None,
                                 ) -> TerminationResult:
-    """Run configurations in sequence until one produces a verdict.
+    """Run configurations until one produces a verdict.
 
-    ``timeout`` (if given) is split evenly across the configurations;
-    the last UNKNOWN result is returned when none succeeds.
+    Sequentially (the default), ``timeout`` is a budget for the whole
+    portfolio: before each attempt the *remaining* wall-clock is split
+    evenly over the configurations still to run, so time an early
+    config leaves unused flows to the later ones instead of being
+    thrown away.  The last UNKNOWN result is returned when none
+    succeeds.
 
-    ``collector_factory`` builds one :class:`StatsCollector` per
-    configuration (a collector's wall-clock starts at construction, so
-    a single instance cannot be shared across runs); the returned
-    result carries the winning run's stats in ``result.stats`` and the
-    stats of *every* attempted configuration, in order, in
+    With ``parallel=True`` the configurations race in worker
+    subprocesses (:mod:`repro.runner.race`): each gets the *full*
+    ``timeout``, the first conclusive verdict wins and the losers are
+    cancelled.  ``workers`` bounds the concurrency (default: one
+    worker per configuration).  ``collector_factory`` is a
+    sequential-only knob (collectors cannot observe a subprocess) and
+    is ignored when racing; per-attempt stats still arrive in
     ``result.attempts``.
+
+    Either way the returned result carries the winning run's stats in
+    ``result.stats`` and the stats of every attempted configuration,
+    in order, in ``result.attempts``.
     """
     if not configs:
         raise ValueError("the portfolio needs at least one configuration")
-    budget = timeout / len(configs) if timeout is not None else None
+    if parallel:
+        from repro.runner.race import race_portfolio
+        return race_portfolio(program, configs, timeout=timeout,
+                              workers=workers)
+    start = time.perf_counter()
     attempts: list[AnalysisStats] = []
     result: TerminationResult | None = None
-    for config in configs:
-        if budget is not None:
+    for index, config in enumerate(configs):
+        if timeout is not None:
+            remaining = timeout - (time.perf_counter() - start)
+            budget = max(remaining, 0.0) / (len(configs) - index)
             config = config.with_(timeout=budget)
         collector = collector_factory() if collector_factory is not None else None
         result = prove_termination(program, config, collector)

@@ -88,6 +88,48 @@ class AnalysisConfig:
     def with_(self, **kwargs) -> "AnalysisConfig":
         return replace(self, **kwargs)
 
+    def to_dict(self) -> dict:
+        """JSON-ready view; the inverse of :meth:`from_dict`.
+
+        Used to ship configurations to worker processes and to key
+        evaluation-store rows (see :mod:`repro.runner`), so it must
+        stay a pure-JSON round trip: stages serialize by enum value.
+        """
+        return {
+            "stages": [stage.value for stage in self.stages],
+            "lazy_complement": self.lazy_complement,
+            "subsumption": self.subsumption,
+            "via_semidet": self.via_semidet,
+            "kernel_cache": self.kernel_cache,
+            "interpolant_modules": self.interpolant_modules,
+            "max_refinements": self.max_refinements,
+            "difference_state_limit": self.difference_state_limit,
+            "stage_state_budget": self.stage_state_budget,
+            "timeout": self.timeout,
+            "check_nontermination": self.check_nontermination,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Missing keys take the field defaults (so hand-written manifest
+        entries can name only the knobs they change); unknown keys are
+        rejected to catch typos in manifests.
+        """
+        kwargs = dict(data)
+        kwargs.pop("name", None)  # manifests may label their configs
+        stages = kwargs.pop("stages", None)
+        if stages is not None:
+            if isinstance(stages, str):
+                kwargs["stages"] = StageSequence.BY_NAME[stages]
+            else:
+                kwargs["stages"] = tuple(Stage(s) for s in stages)
+        unknown = set(kwargs) - {f for f in cls.__dataclass_fields__}
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        return cls(**kwargs)
+
     def describe(self) -> str:
         names = {StageSequence.SINGLE: "single",
                  StageSequence.SEQ_I: "multi(i)",

@@ -124,8 +124,14 @@ class RefinementEngine:
                 return finish(Verdict.UNKNOWN, reason="timeout")
             round_start = time.perf_counter()
             with tracer.span("round", index=index) as round_span:
-                with tracer.span("lasso-search"):
-                    word = find_accepting_lasso(current)
+                # The budget is checked *inside* the long explorations
+                # too (lasso search here, Algorithm 1 in difference), so
+                # one oversized round cannot blow far past the deadline.
+                try:
+                    with tracer.span("lasso-search"):
+                        word = find_accepting_lasso(current, deadline=deadline)
+                except ExplorationTimeout:
+                    return finish(Verdict.UNKNOWN, reason="timeout")
                 if word is None:
                     return finish(Verdict.TERMINATING)
                 round_span.set(word=str(word))
@@ -153,6 +159,9 @@ class RefinementEngine:
                     return finish(Verdict.UNKNOWN, word=word,
                                   reason=f"lasso not provable: {word}")
 
+                if deadline is not None and time.perf_counter() > deadline:
+                    record(round_stats)
+                    return finish(Verdict.UNKNOWN, reason="timeout")
                 with tracer.span("generalize") as gen_span:
                     module = generalize(
                         proof, config.stages, alphabet,

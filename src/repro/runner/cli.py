@@ -1,0 +1,172 @@
+"""The ``bench`` and ``race`` subcommands of ``python -m repro``.
+
+``bench`` evaluates a corpus manifest through the worker pool and
+streams rows to a resumable JSONL store::
+
+    python -m repro bench benchmarks/manifests/smoke.json \\
+        --workers 4 --task-timeout 5 --store results.jsonl
+
+``race`` runs a configuration portfolio concurrently on one program,
+returning the first conclusive verdict::
+
+    python -m repro race examples/sort.t --timeout 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.api import DEFAULT_PORTFOLIO
+from repro.core.config import AnalysisConfig
+from repro.program.parser import ParseError, parse_program
+from repro.runner import report as runner_report
+from repro.runner.corpus import load_manifest, run_corpus, suite_manifest
+from repro.runner.pool import WorkerPool, analysis_task
+from repro.runner.race import race_portfolio
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Evaluate a corpus manifest through the worker pool.")
+    parser.add_argument("manifest", nargs="?", default=None,
+                        help="corpus manifest JSON (default: the full "
+                             "benchgen suite)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: min(cpu, 8))")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-task budget in seconds (overrides the "
+                             "manifest; hard-killed one grace period past it)")
+    parser.add_argument("--store", default="results.jsonl",
+                        help="append-only JSONL result store "
+                             "(default: results.jsonl)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-run jobs even if the store has their rows")
+    parser.add_argument("--retry-errors", action="store_true",
+                        help="re-run jobs whose stored status is 'error'")
+    parser.add_argument("--inprocess", action="store_true",
+                        help="run jobs in-process (no subprocesses; "
+                             "cooperative timeouts only)")
+    parser.add_argument("--report-json", metavar="FILE", default=None,
+                        help="write the aggregate report as JSON")
+    parser.add_argument("--fail-on-error", action="store_true",
+                        help="exit nonzero if any row has status 'error'")
+    parser.add_argument("--quiet", action="store_true",
+                        help="no per-row progress lines")
+    args = parser.parse_args(argv)
+
+    if args.manifest is not None:
+        manifest = load_manifest(args.manifest)
+    else:
+        manifest = suite_manifest(task_timeout=args.task_timeout)
+
+    def on_row(row: dict) -> None:
+        if not args.quiet:
+            print(f"  {row.get('program', '?'):<24} "
+                  f"[{row.get('config', '?')}] "
+                  f"{row.get('status', '?'):<14} "
+                  f"{float(row.get('seconds') or 0.0):7.2f}s",
+                  flush=True)
+
+    pool = WorkerPool(workers=args.workers, task=analysis_task,
+                      task_timeout=args.task_timeout
+                      if args.task_timeout is not None
+                      else manifest.get("task_timeout"),
+                      inprocess=True if args.inprocess else None)
+    summary = run_corpus(manifest, args.store,
+                         task_timeout=args.task_timeout,
+                         resume=not args.no_resume,
+                         retry_errors=args.retry_errors,
+                         pool=pool, on_row=on_row)
+
+    mode = "in-process" if pool.inprocess else f"{pool.workers} workers"
+    print(f"\n{summary.manifest}: {summary.total} jobs "
+          f"({summary.skipped} resumed, {summary.ran} run, {mode}) "
+          f"in {summary.seconds:.2f}s")
+    aggs = runner_report.aggregate_rows(summary.rows)
+    print(runner_report.render_table(aggs))
+    if args.report_json:
+        payload = {"manifest": summary.manifest, "total": summary.total,
+                   "skipped": summary.skipped, "ran": summary.ran,
+                   "by_status": summary.by_status,
+                   "seconds": summary.seconds,
+                   "configs": runner_report.to_dict(aggs)}
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if args.fail_on_error and summary.errors:
+        print(f"{summary.errors} error row(s) in {args.store}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def race_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro race",
+        description="Race the configuration portfolio on one program.")
+    parser.add_argument("file", help="program file ('-' reads stdin)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-configuration budget in seconds")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="concurrency (default: one per configuration)")
+    parser.add_argument("--interpolants-only", action="store_true",
+                        help="race only the interpolant-module config "
+                             "against the default (same as the default "
+                             "portfolio)")
+    parser.add_argument("--sequences", default=None,
+                        help="comma-separated stage sequences to race "
+                             "(e.g. 'i,ii,iii,single') instead of the "
+                             "default portfolio")
+    parser.add_argument("--inprocess", action="store_true",
+                        help="run attempts sequentially in-process "
+                             "(degraded mode, still first-verdict-wins)")
+    parser.add_argument("--json", action="store_true",
+                        help="print one JSON object instead of text")
+    args = parser.parse_args(argv)
+
+    source = (sys.stdin.read() if args.file == "-"
+              else open(args.file, encoding="utf-8").read())
+    try:
+        program = parse_program(source)
+    except ParseError as err:
+        print(f"parse error: {err}", file=sys.stderr)
+        return 2
+
+    if args.sequences:
+        names = [s.strip() for s in args.sequences.split(",") if s.strip()]
+        configs = tuple(AnalysisConfig.from_dict({"stages": n})
+                        for n in names)
+    else:
+        configs = DEFAULT_PORTFOLIO
+    pool = None
+    if args.inprocess:
+        pool = WorkerPool(workers=1, task=analysis_task,
+                          task_timeout=args.timeout, inprocess=True)
+    result = race_portfolio(program, configs, timeout=args.timeout,
+                            workers=args.workers, pool=pool)
+
+    if args.json:
+        print(json.dumps({
+            "verdict": result.verdict.value,
+            "reason": result.reason,
+            "winner": result.stats.config,
+            "seconds": result.stats.total_seconds,
+            "attempts": [{"config": a.config, "seconds": a.total_seconds,
+                          "gave_up_reason": a.gave_up_reason}
+                         for a in result.attempts],
+        }, indent=2))
+        return 0 if result.verdict.value != "unknown" else 1
+
+    print(result.verdict.value.upper())
+    if result.reason:
+        print(f"reason: {result.reason}")
+    print(f"winner: {result.stats.config} "
+          f"in {result.stats.total_seconds:.3f}s")
+    print(f"\nattempts ({len(result.attempts)}):")
+    for attempt in result.attempts:
+        note = attempt.gave_up_reason or "completed"
+        print(f"  {attempt.config:<32} {attempt.total_seconds:7.3f}s  {note}")
+    return 0 if result.verdict.value != "unknown" else 1

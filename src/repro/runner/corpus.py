@@ -1,0 +1,266 @@
+"""Corpus manifests and the resumable evaluation driver.
+
+A manifest is a JSON object describing *what to run* -- programs x
+configurations -- without code:
+
+.. code-block:: json
+
+    {
+      "name": "smoke",
+      "task_timeout": 5,
+      "programs": [
+        {"suite": "*"},
+        {"suite": "nested"},
+        {"scaled": "nested_loops", "k": [1, 2, 3]},
+        {"file": "examples/sort.t"},
+        {"glob": "examples/*.t"},
+        {"name": "inline_loop", "expected": "terminating",
+         "source": "program p(x):\\n    while x > 0:\\n        x := x - 1\\n"}
+      ],
+      "configs": [
+        {"name": "default"},
+        {"name": "interp", "interpolant_modules": true}
+      ]
+    }
+
+``programs`` entries expand over the :mod:`repro.benchgen` families
+(``suite`` by family name or ``"*"``), the scaled generators
+(``scaled`` + ``k`` list), program files (``file``/``glob``, relative
+to the manifest), and inline sources.  ``configs`` entries are
+:meth:`AnalysisConfig.from_dict` dicts (plus an optional ``name``
+label); an absent/empty list means the default configuration.
+
+``run_corpus`` expands the manifest into jobs, skips the ones whose
+(program, config, code-version) key already has a row in the JSONL
+store -- interrupted runs resume without recomputation -- and streams
+the rest through the worker pool, appending a row per finished job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.benchgen import program_suite
+from repro.benchgen.programs import BenchProgram
+from repro.benchgen.scaled import (interleaved_counters, nested_loops,
+                                   phase_chain, sequential_loops)
+from repro.core.config import AnalysisConfig
+from repro.runner.pool import TaskOutcome, WorkerPool, analysis_task
+from repro.runner.store import ResultStore, code_version, job_key
+
+_SCALED = {
+    "interleaved_counters": interleaved_counters,
+    "sequential_loops": sequential_loops,
+    "nested_loops": nested_loops,
+    "phase_chain": phase_chain,
+}
+
+
+@dataclass(frozen=True)
+class CorpusJob:
+    """One (program, config) cell of the evaluation matrix."""
+
+    key: str
+    name: str
+    family: str
+    source: str
+    expected: str | None
+    config: dict
+    config_name: str
+    timeout: float | None
+
+    def payload(self) -> dict:
+        return {"key": self.key, "name": self.name, "family": self.family,
+                "source": self.source, "expected": self.expected,
+                "config": self.config, "config_name": self.config_name,
+                "timeout": self.timeout}
+
+
+@dataclass
+class CorpusRun:
+    """Summary of one ``run_corpus`` invocation."""
+
+    manifest: str
+    total: int
+    skipped: int
+    ran: int
+    by_status: dict = field(default_factory=dict)
+    seconds: float = 0.0
+    rows: list = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return self.by_status.get("error", 0)
+
+
+def load_manifest(path: str | Path) -> dict:
+    import json
+    path = Path(path)
+    manifest = json.loads(path.read_text(encoding="utf-8"))
+    manifest.setdefault("name", path.stem)
+    manifest["_base_dir"] = str(path.parent)
+    return manifest
+
+
+def suite_manifest(task_timeout: float | None = None) -> dict:
+    """The built-in manifest: the full benchgen suite, default config."""
+    return {"name": "suite", "programs": [{"suite": "*"}],
+            "configs": [{"name": "default"}], "task_timeout": task_timeout}
+
+
+def _expand_programs(manifest: dict) -> list[BenchProgram]:
+    base = Path(manifest.get("_base_dir", "."))
+    programs: list[BenchProgram] = []
+    seen: set[str] = set()
+
+    def add(bench: BenchProgram) -> None:
+        if bench.name not in seen:
+            seen.add(bench.name)
+            programs.append(bench)
+
+    for entry in manifest.get("programs", ()):
+        if "suite" in entry:
+            family = entry["suite"]
+            for bench in program_suite():
+                if family in ("*", bench.family):
+                    add(bench)
+        elif "scaled" in entry:
+            generator = _SCALED.get(entry["scaled"])
+            if generator is None:
+                raise ValueError(f"unknown scaled family {entry['scaled']!r} "
+                                 f"(have {sorted(_SCALED)})")
+            ks = entry.get("k", [1, 2, 3])
+            for k in ([ks] if isinstance(ks, int) else ks):
+                add(generator(k))
+        elif "file" in entry or "glob" in entry:
+            if "glob" in entry:
+                paths = sorted(base.glob(entry["glob"]))
+            else:
+                paths = [base / entry["file"]]
+            if not paths:
+                raise ValueError(f"glob {entry['glob']!r} matched no files "
+                                 f"under {base}")
+            for path in paths:
+                add(BenchProgram(path.stem, entry.get("family", "file"),
+                                 path.read_text(encoding="utf-8"),
+                                 entry.get("expected", "unknown")))
+        elif "source" in entry:
+            add(BenchProgram(entry.get("name", f"inline_{len(programs)}"),
+                             entry.get("family", "inline"), entry["source"],
+                             entry.get("expected", "unknown")))
+        else:
+            raise ValueError(f"unrecognized program entry: {entry}")
+    return programs
+
+
+def _expand_configs(manifest: dict) -> list[tuple[str, dict]]:
+    entries = manifest.get("configs") or [{}]
+    configs: list[tuple[str, dict]] = []
+    for i, entry in enumerate(entries):
+        entry = dict(entry)
+        label = entry.pop("name", None)
+        config = AnalysisConfig.from_dict(entry)  # validates the knobs
+        configs.append((label or config.describe() or f"config{i}",
+                        config.to_dict()))
+    return configs
+
+
+def expand_manifest(manifest: dict,
+                    task_timeout: float | None = None,
+                    version: str | None = None) -> list[CorpusJob]:
+    """The manifest's full job matrix, with stable resume keys."""
+    timeout = (task_timeout if task_timeout is not None
+               else manifest.get("task_timeout"))
+    version = version if version is not None else code_version()
+    jobs: list[CorpusJob] = []
+    configs = _expand_configs(manifest)
+    for bench in _expand_programs(manifest):
+        for config_name, config in configs:
+            jobs.append(CorpusJob(
+                key=job_key(bench.name, bench.source, config, version),
+                name=bench.name, family=bench.family, source=bench.source,
+                expected=bench.expected, config=config,
+                config_name=config_name, timeout=timeout))
+    return jobs
+
+
+def _placeholder_row(job_payload: dict, outcome: TaskOutcome) -> dict:
+    """A store row for a job whose worker never reported (timeout/kill)."""
+    return {"key": job_payload.get("key"),
+            "program": job_payload.get("name"),
+            "family": job_payload.get("family"),
+            "expected": job_payload.get("expected"),
+            "config": job_payload.get("config_name"),
+            "status": outcome.status,
+            "error": outcome.error,
+            "seconds": outcome.seconds}
+
+
+def outcome_row(outcome: TaskOutcome) -> dict:
+    """Fold a pool outcome into one JSON-ready store row."""
+    if outcome.status == "ok" and outcome.result is not None:
+        row = dict(outcome.result)
+        row.pop("result_pickle", None)  # bytes never reach the JSON store
+        row.pop("result_object", None)  # nor live in-process objects
+    else:
+        row = _placeholder_row(outcome.payload, outcome)
+    row["executions"] = outcome.executions
+    row["wall_seconds"] = outcome.seconds
+    return row
+
+
+def run_corpus(manifest: dict,
+               store_path: str | Path,
+               workers: int | None = None,
+               task_timeout: float | None = None,
+               resume: bool = True,
+               retry_errors: bool = False,
+               pool: WorkerPool | None = None,
+               on_row: Callable[[dict], None] | None = None,
+               ) -> CorpusRun:
+    """Evaluate a manifest, streaming rows into the JSONL store.
+
+    With ``resume`` (default), jobs whose key already has a row are
+    skipped -- re-running a finished corpus recomputes nothing.
+    ``retry_errors`` additionally re-runs rows whose status is
+    ``error`` (fresh code often fixes a crash).  Returns the run
+    summary; ``summary.rows`` holds **all** rows of the matrix, reused
+    and new alike, for reporting.
+    """
+    start = time.perf_counter()
+    jobs = expand_manifest(manifest, task_timeout=task_timeout)
+    with ResultStore(store_path) as store:
+        done = store.load() if resume else {}
+        if retry_errors:
+            done = {k: row for k, row in done.items()
+                    if row.get("status") != "error"}
+        todo = [job for job in jobs if job.key not in done]
+        if pool is None:
+            pool = WorkerPool(workers=workers, task=analysis_task,
+                              task_timeout=task_timeout
+                              if task_timeout is not None
+                              else manifest.get("task_timeout"))
+        rows_by_key = {job.key: done[job.key] for job in jobs
+                       if job.key in done}
+
+        def on_outcome(outcome: TaskOutcome) -> None:
+            row = outcome_row(outcome)
+            rows_by_key[row.get("key")] = row
+            store.append(row)
+            if on_row is not None:
+                on_row(row)
+
+        pool.run([job.payload() for job in todo], on_outcome=on_outcome)
+
+    rows = [rows_by_key[job.key] for job in jobs if job.key in rows_by_key]
+    by_status: dict[str, int] = {}
+    for row in rows:
+        by_status[row.get("status", "?")] = \
+            by_status.get(row.get("status", "?"), 0) + 1
+    return CorpusRun(manifest=manifest.get("name", "?"), total=len(jobs),
+                     skipped=len(jobs) - len(todo), ran=len(todo),
+                     by_status=by_status,
+                     seconds=time.perf_counter() - start, rows=rows)

@@ -1,0 +1,372 @@
+"""A multiprocess worker pool with *hard* per-task deadlines.
+
+The cooperative ``AnalysisConfig.timeout`` is honored inside the
+refinement loop, but a pathological task can still wedge a worker (a
+single enormous SCC sweep, a pathological solver call, a bug).  The
+evaluation harness therefore runs every job in its own subprocess and
+enforces the budget from outside:
+
+- **hard deadline**: a worker that overruns ``timeout + kill_grace``
+  is SIGKILLed and the job recorded as ``timeout`` -- the cooperative
+  budget gets ``kill_grace`` seconds to return gracefully first,
+- **crash isolation**: a worker death (segfault, OOM kill, interpreter
+  abort) never takes the harness down; the job is retried at most
+  ``max_retries`` times and then recorded as ``error``,
+- **task exceptions** travel back with their traceback and become
+  ``error`` rows immediately (they are deterministic -- retrying is
+  waste),
+- **graceful degradation**: when ``multiprocessing`` is unusable (no
+  start methods, sandboxed platform, ``REPRO_RUNNER_INPROCESS=1``)
+  the pool runs tasks in-process -- cooperative timeouts still apply,
+  hard kills and crash isolation do not.
+
+Workers communicate over a one-way pipe; results are whatever the task
+returns (pickled by the pipe).  The pool is deliberately generic --
+``task`` is any importable callable ``payload -> dict`` -- so the
+harness's own failure paths are testable with the fault-injection
+tasks of :mod:`repro.runner._testing`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+try:
+    import multiprocessing as _mp
+    from multiprocessing import connection as _mp_connection
+except ImportError:  # pragma: no cover - exotic platforms
+    _mp = None
+    _mp_connection = None
+
+from repro.core.api import prove_termination
+from repro.core.config import AnalysisConfig
+from repro.core.refinement import Verdict
+from repro.program.parser import ParseError, parse_program
+
+
+@dataclass
+class TaskOutcome:
+    """What the pool observed for one payload."""
+
+    payload: dict
+    index: int
+    #: ``ok`` (task returned), ``timeout`` (hard deadline SIGKILL),
+    #: ``error`` (task raised, or worker died beyond retry),
+    #: ``cancelled`` (a race winner stopped the run first).
+    status: str
+    result: dict | None = None
+    error: str | None = None
+    #: Wall-clock seconds of the *last* execution.
+    seconds: float = 0.0
+    #: Executions performed (1 + retries).
+    executions: int = 1
+
+
+def analysis_task(payload: dict) -> dict:
+    """The worker entry point: analyze one program under one config.
+
+    ``payload`` keys: ``source`` (program text) or ``program`` (a
+    parsed :class:`~repro.program.ast.Program`), ``config`` (an
+    :meth:`AnalysisConfig.to_dict` dict), ``timeout`` (cooperative
+    budget in seconds, intersected with the config's own), plus
+    pass-through metadata (``key``/``name``/``family``/``expected``/
+    ``config_name``).  Returns a JSON-ready result row; with
+    ``want_result`` set, a pickled :class:`TerminationResult` rides
+    along under ``result_pickle`` (stripped before any JSON sink).
+    """
+    t0 = time.perf_counter()
+    name = payload.get("name", "<anonymous>")
+
+    def base_row() -> dict:
+        return {"key": payload.get("key"), "program": name,
+                "family": payload.get("family"),
+                "expected": payload.get("expected")}
+
+    try:
+        config = AnalysisConfig.from_dict(payload.get("config") or {})
+        budget = payload.get("timeout")
+        if budget is not None:
+            budget = (budget if config.timeout is None
+                      else min(budget, config.timeout))
+            config = config.with_(timeout=budget)
+        program = payload.get("program")
+        if program is None:
+            program = parse_program(payload["source"])
+        result = prove_termination(program, config)
+    except ParseError as err:
+        row = base_row()
+        row.update(config=payload.get("config_name", ""), status="error",
+                   error=f"parse error: {err}",
+                   seconds=time.perf_counter() - t0)
+        return row
+
+    stats = result.stats
+    status = result.verdict.value
+    if result.verdict is Verdict.UNKNOWN and result.reason == "timeout":
+        status = "timeout"
+    row = base_row()
+    row.update(
+        config=payload.get("config_name") or config.describe(),
+        status=status,
+        verdict=result.verdict.value,
+        reason=result.reason,
+        rounds=stats.iterations,
+        seconds=stats.total_seconds,
+        modules_by_stage=dict(stats.modules_by_stage),
+        stats=stats.to_dict(),
+    )
+    if payload.get("want_result"):
+        if payload.get("_same_process"):
+            # In-process pools share the heap: hand the live result
+            # over instead of paying a pickle round-trip.
+            row["result_object"] = result
+        else:
+            try:
+                row["result_pickle"] = pickle.dumps(result)
+            except Exception:
+                pass  # verdict/stats still travel in the plain row
+    return row
+
+
+def _worker_main(task: Callable[[dict], dict], payload: dict, conn) -> None:
+    """Subprocess body: run the task, ship the result, exit."""
+    try:
+        result = task(payload)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - isolate *everything*
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}",
+                       traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class _Running:
+    __slots__ = ("index", "payload", "execution", "proc", "conn",
+                 "started", "deadline")
+
+    def __init__(self, index, payload, execution, proc, conn,
+                 started, deadline):
+        self.index = index
+        self.payload = payload
+        self.execution = execution
+        self.proc = proc
+        self.conn = conn
+        self.started = started
+        self.deadline = deadline
+
+
+class WorkerPool:
+    """Executes payloads through ``task`` with bounded concurrency.
+
+    ``task_timeout`` is the default cooperative budget; a payload's own
+    ``timeout`` key overrides it.  The hard deadline of a job is its
+    cooperative budget plus ``kill_grace`` seconds (no budget = no hard
+    deadline).  ``on_outcome`` (passed to :meth:`run`) observes every
+    outcome as it lands and may return ``False`` to cancel everything
+    still queued or running -- the racing primitive.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 task: Callable[[dict], dict] = analysis_task,
+                 task_timeout: float | None = None,
+                 kill_grace: float = 1.0,
+                 max_retries: int = 1,
+                 start_method: str | None = None,
+                 inprocess: bool | None = None):
+        self.workers = max(1, workers if workers is not None
+                           else min(os.cpu_count() or 1, 8))
+        self.task = task
+        self.task_timeout = task_timeout
+        self.kill_grace = kill_grace
+        self.max_retries = max_retries
+        if inprocess is None:
+            inprocess = (os.environ.get("REPRO_RUNNER_INPROCESS") == "1"
+                         or _mp is None)
+        self._ctx = None
+        if not inprocess:
+            try:
+                methods = _mp.get_all_start_methods()
+                method = start_method or (
+                    "fork" if "fork" in methods else methods[0])
+                self._ctx = _mp.get_context(method)
+            except Exception:
+                inprocess = True
+        self.inprocess = inprocess
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self, payloads: Sequence[dict],
+            on_outcome: Callable[[TaskOutcome], bool | None] | None = None,
+            ) -> list[TaskOutcome]:
+        """Execute every payload; outcomes are returned in payload order."""
+        payloads = list(payloads)
+        if self.inprocess:
+            return self._run_inprocess(payloads, on_outcome)
+        try:
+            return self._run_pool(payloads, on_outcome)
+        except (OSError, ValueError):
+            # Process creation failed outright (fd limits, sandboxes):
+            # degrade rather than die.  Partial outcomes are discarded;
+            # the store layer makes recomputation cheap.
+            self.inprocess = True
+            return self._run_inprocess(payloads, on_outcome)
+
+    def budget_of(self, payload: dict) -> float | None:
+        timeout = payload.get("timeout", self.task_timeout)
+        return timeout
+
+    # -- in-process degradation -------------------------------------------------
+
+    def _run_inprocess(self, payloads, on_outcome) -> list[TaskOutcome]:
+        outcomes: list[TaskOutcome] = []
+        stopped = False
+        for index, payload in enumerate(payloads):
+            if stopped:
+                outcomes.append(TaskOutcome(payload, index, "cancelled",
+                                            executions=0))
+                continue
+            start = time.perf_counter()
+            payload = dict(self._with_budget(payload))
+            payload["_same_process"] = True
+            try:
+                result = self.task(payload)
+                outcome = TaskOutcome(payload, index, "ok", result=result,
+                                      seconds=time.perf_counter() - start)
+            except Exception as exc:  # noqa: BLE001 - isolate the harness
+                outcome = TaskOutcome(
+                    payload, index, "error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    seconds=time.perf_counter() - start)
+            outcomes.append(outcome)
+            if on_outcome is not None and on_outcome(outcome) is False:
+                stopped = True
+        return outcomes
+
+    def _with_budget(self, payload: dict) -> dict:
+        if "timeout" not in payload and self.task_timeout is not None:
+            payload = dict(payload)
+            payload["timeout"] = self.task_timeout
+        return payload
+
+    # -- the subprocess scheduler -----------------------------------------------
+
+    def _run_pool(self, payloads, on_outcome) -> list[TaskOutcome]:
+        outcomes: dict[int, TaskOutcome] = {}
+        queue: deque[tuple[int, dict, int]] = deque(
+            (i, self._with_budget(p), 1) for i, p in enumerate(payloads))
+        running: dict[object, _Running] = {}
+        stopped = False
+
+        def deliver(outcome: TaskOutcome) -> None:
+            nonlocal stopped
+            outcomes[outcome.index] = outcome
+            if on_outcome is not None and on_outcome(outcome) is False:
+                stopped = True
+
+        def spawn(index: int, payload: dict, execution: int) -> None:
+            parent, child = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_worker_main, args=(self.task, payload, child),
+                daemon=True)
+            proc.start()
+            child.close()
+            now = time.perf_counter()
+            budget = self.budget_of(payload)
+            deadline = now + budget + self.kill_grace if budget is not None else None
+            running[parent] = _Running(index, payload, execution, proc,
+                                       parent, now, deadline)
+
+        def reap(job: _Running) -> None:
+            job.proc.join(timeout=5.0)
+            if job.proc.is_alive():  # pragma: no cover - stuck after send
+                job.proc.kill()
+                job.proc.join()
+            try:
+                job.conn.close()
+            except Exception:
+                pass
+
+        while queue or running:
+            while queue and len(running) < self.workers and not stopped:
+                index, payload, execution = queue.popleft()
+                spawn(index, payload, execution)
+            if not running:
+                if stopped:
+                    break
+                continue
+
+            now = time.perf_counter()
+            deadlines = [j.deadline - now for j in running.values()
+                         if j.deadline is not None]
+            wait_for = max(0.001, min(deadlines)) if deadlines else 0.2
+            ready = _mp_connection.wait(list(running), timeout=wait_for)
+            now = time.perf_counter()
+
+            for conn in ready:
+                job = running.pop(conn)
+                message = None
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None  # died without a result
+                reap(job)
+                elapsed = now - job.started
+                if message is None:
+                    exitcode = job.proc.exitcode
+                    if job.execution <= self.max_retries:
+                        queue.append((job.index, job.payload,
+                                      job.execution + 1))
+                    else:
+                        deliver(TaskOutcome(
+                            job.payload, job.index, "error",
+                            error=f"worker died (exit code {exitcode})",
+                            seconds=elapsed, executions=job.execution))
+                elif message[0] == "ok":
+                    deliver(TaskOutcome(job.payload, job.index, "ok",
+                                        result=message[1], seconds=elapsed,
+                                        executions=job.execution))
+                else:
+                    _, summary, tb = message
+                    deliver(TaskOutcome(job.payload, job.index, "error",
+                                        error=summary + "\n" + tb,
+                                        seconds=elapsed,
+                                        executions=job.execution))
+
+            for conn, job in list(running.items()):
+                if job.deadline is not None and now > job.deadline:
+                    running.pop(conn)
+                    job.proc.kill()
+                    reap(job)
+                    deliver(TaskOutcome(job.payload, job.index, "timeout",
+                                        error="hard deadline exceeded "
+                                              "(worker SIGKILLed)",
+                                        seconds=now - job.started,
+                                        executions=job.execution))
+            if stopped:
+                break
+
+        # A race winner cancels everything still in flight or queued.
+        for conn, job in running.items():
+            job.proc.kill()
+            reap(job)
+            outcomes[job.index] = TaskOutcome(
+                job.payload, job.index, "cancelled",
+                seconds=time.perf_counter() - job.started,
+                executions=job.execution)
+        for index, payload, execution in queue:
+            outcomes.setdefault(index, TaskOutcome(payload, index,
+                                                   "cancelled",
+                                                   executions=0))
+        return [outcomes[i] for i in sorted(outcomes)]

@@ -1,0 +1,159 @@
+"""Racing portfolios: first conclusive verdict wins, losers cancelled.
+
+Ultimate's portfolio strength comes from configurations with
+complementary blind spots; running them in sequence pays the losers'
+full budgets before the winner starts.  The racer launches every
+configuration concurrently with the *whole* budget, takes the first
+conclusive verdict, SIGKILLs the rest, and keeps every attempt's
+(partial) stats -- an attempt that completed with UNKNOWN before the
+winner finished carries its full stats, a cancelled one records its
+elapsed wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Callable, Sequence
+
+from repro.core.config import AnalysisConfig
+from repro.core.refinement import TerminationResult, Verdict
+from repro.core.stats import AnalysisStats
+from repro.runner.pool import TaskOutcome, WorkerPool, analysis_task
+
+
+def run_race(payloads: Sequence[dict],
+             pool: WorkerPool,
+             is_winner: Callable[[TaskOutcome], bool],
+             ) -> tuple[TaskOutcome | None, list[TaskOutcome]]:
+    """Run payloads concurrently until ``is_winner`` accepts an outcome.
+
+    Returns ``(winner, outcomes)`` with outcomes in payload order; the
+    winner is ``None`` when every attempt finished without one.  When a
+    winner lands, everything still queued or running is cancelled.
+    """
+    winner: TaskOutcome | None = None
+
+    def on_outcome(outcome: TaskOutcome) -> bool | None:
+        nonlocal winner
+        if winner is None and is_winner(outcome):
+            winner = outcome
+            return False
+        return None
+
+    outcomes = pool.run(payloads, on_outcome=on_outcome)
+    return winner, outcomes
+
+
+def _conclusive(outcome: TaskOutcome) -> bool:
+    return (outcome.status == "ok" and outcome.result is not None
+            and outcome.result.get("verdict") in ("terminating",
+                                                  "nonterminating"))
+
+
+def _attempt_stats(outcome: TaskOutcome) -> AnalysisStats:
+    """Per-attempt stats, synthesized for attempts that never reported."""
+    if outcome.status == "ok" and outcome.result is not None:
+        data = outcome.result.get("stats")
+        if data:
+            return AnalysisStats.from_dict(data)
+    stats = AnalysisStats(
+        program=outcome.payload.get("name", ""),
+        config=outcome.payload.get("config_name", ""),
+        total_seconds=outcome.seconds,
+        gave_up_reason=outcome.status if outcome.status != "ok" else None)
+    return stats
+
+
+def _result_of(outcome: TaskOutcome) -> TerminationResult:
+    """Rebuild the winner's TerminationResult on the harness side.
+
+    Workers ship a pickled result alongside the JSON row when they can
+    (modules, witnesses); if pickling failed, the row alone still
+    yields a faithful verdict + stats result.
+    """
+    row = outcome.result or {}
+    live = row.get("result_object")
+    if isinstance(live, TerminationResult):
+        return live
+    blob = row.get("result_pickle")
+    if blob is not None:
+        try:
+            result = pickle.loads(blob)
+            if isinstance(result, TerminationResult):
+                return result
+        except Exception:
+            pass
+    return TerminationResult(
+        Verdict(row.get("verdict", "unknown")),
+        stats=AnalysisStats.from_dict(row["stats"]) if row.get("stats")
+        else _attempt_stats(outcome),
+        reason=row.get("reason"))
+
+
+def race_portfolio(program,
+                   configs: Sequence[AnalysisConfig],
+                   timeout: float | None = None,
+                   workers: int | None = None,
+                   pool: WorkerPool | None = None,
+                   names: Sequence[str] | None = None,
+                   ) -> TerminationResult:
+    """Race ``configs`` on ``program``; the portfolio's parallel mode.
+
+    ``program`` is a parsed :class:`~repro.program.ast.Program` or
+    source text.  Every configuration gets the full ``timeout`` as its
+    cooperative budget (hard-killed ``kill_grace`` past it).  Returns
+    the winning attempt's result -- or, with no conclusive verdict,
+    the most informative loser (a reported UNKNOWN over a timeout) --
+    with every attempt's stats in ``result.attempts``, in
+    configuration order.
+
+    ``workers`` defaults to ``min(len(configs), cpu count)``: with
+    fewer cores than configurations, oversubscribing only slows the
+    eventual winner.  When that leaves a single worker there is
+    nothing to race, so the portfolio degrades to ordered in-process
+    execution with early cancellation -- same first-conclusive-verdict
+    semantics, no fork/pickle overhead, no CPU contention (callers
+    needing subprocess isolation anyway can pass their own ``pool``).
+    """
+    configs = list(configs)
+    if not configs:
+        raise ValueError("the portfolio needs at least one configuration")
+    payloads = []
+    for i, config in enumerate(configs):
+        payload = {
+            "name": getattr(program, "name", "<race>"),
+            "config": config.to_dict(),
+            "config_name": (names[i] if names is not None
+                            else config.describe()),
+            "timeout": timeout,
+            "want_result": True,
+        }
+        if isinstance(program, str):
+            payload["source"] = program
+        else:
+            payload["program"] = program
+        payloads.append(payload)
+    if pool is None:
+        n_workers = (workers if workers is not None
+                     else min(len(payloads), os.cpu_count() or 1))
+        pool = WorkerPool(workers=max(n_workers, 1), task=analysis_task,
+                          task_timeout=timeout,
+                          inprocess=True if n_workers <= 1 else None)
+    winner, outcomes = run_race(payloads, pool, _conclusive)
+
+    chosen = winner
+    if chosen is None:
+        # No conclusive verdict: prefer a completed UNKNOWN (it carries
+        # a reason and full stats) over timeout/error placeholders.
+        completed = [o for o in outcomes if o.status == "ok" and o.result]
+        chosen = completed[-1] if completed else None
+    if chosen is not None:
+        result = _result_of(chosen)
+    else:
+        reasons = {o.status for o in outcomes}
+        reason = "timeout" if "timeout" in reasons else "all attempts failed"
+        result = TerminationResult(Verdict.UNKNOWN, reason=reason)
+        result.stats = _attempt_stats(outcomes[0]) if outcomes else result.stats
+    result.attempts = [_attempt_stats(o) for o in outcomes]
+    return result

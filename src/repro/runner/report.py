@@ -1,0 +1,154 @@
+"""Solved-counts / time aggregation over a result store (Table 3 style).
+
+``aggregate_rows`` folds JSONL rows into one line per configuration:
+verdict counts, solved (verdict matches the manifest's expectation,
+where one was given), timeouts, errors, and wall-clock totals -- the
+shape of the paper's Table 3.  Because every completed row embeds its
+run's :mod:`repro.obs` metrics snapshot, the aggregate also sums the
+effort counters (refinement rounds, difference explorations, cache
+hits) across the corpus, giving the per-configuration cost profile
+without re-tracing anything.
+
+``python -m repro report results.jsonl [--json]`` renders it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+from repro.runner.store import read_rows
+
+#: obs counters summed into each config's aggregate line.
+EFFORT_COUNTERS = (
+    "refinement.rounds",
+    "difference.calls",
+    "difference.explored_states",
+    "difference.subsumption_hits",
+    "difference.cache.hits",
+    "difference.cache.misses",
+)
+
+
+@dataclass
+class ConfigAgg:
+    """Aggregate over every row sharing one configuration."""
+
+    config: str
+    jobs: int = 0
+    terminating: int = 0
+    nonterminating: int = 0
+    unknown: int = 0
+    timeout: int = 0
+    error: int = 0
+    cancelled: int = 0
+    #: Rows whose verdict matched a stated expectation.
+    solved: int = 0
+    #: Rows that *had* a stated (non-"unknown") expectation.
+    expected_known: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.jobs if self.jobs else 0.0
+
+
+def aggregate_rows(rows) -> dict[str, ConfigAgg]:
+    """Fold result rows into per-configuration aggregates."""
+    aggs: dict[str, ConfigAgg] = {}
+    for row in rows:
+        config = row.get("config") or "?"
+        agg = aggs.get(config)
+        if agg is None:
+            agg = aggs[config] = ConfigAgg(config)
+        agg.jobs += 1
+        status = row.get("status", "?")
+        if status in ("terminating", "nonterminating", "unknown",
+                      "timeout", "error", "cancelled"):
+            setattr(agg, status, getattr(agg, status) + 1)
+        expected = row.get("expected")
+        if expected and expected != "unknown":
+            agg.expected_known += 1
+            if row.get("verdict") == expected:
+                agg.solved += 1
+        seconds = float(row.get("seconds") or 0.0)
+        agg.total_seconds += seconds
+        agg.max_seconds = max(agg.max_seconds, seconds)
+        counters = (row.get("stats") or {}).get("metrics", {}).get("counters", {})
+        for name in EFFORT_COUNTERS:
+            if name in counters:
+                agg.counters[name] = agg.counters.get(name, 0) + counters[name]
+    return aggs
+
+
+def to_dict(aggs: dict[str, ConfigAgg]) -> dict:
+    return {
+        config: {
+            "jobs": a.jobs, "solved": a.solved,
+            "expected_known": a.expected_known,
+            "terminating": a.terminating, "nonterminating": a.nonterminating,
+            "unknown": a.unknown, "timeout": a.timeout, "error": a.error,
+            "cancelled": a.cancelled,
+            "total_seconds": a.total_seconds, "mean_seconds": a.mean_seconds,
+            "max_seconds": a.max_seconds,
+            "counters": dict(sorted(a.counters.items())),
+        }
+        for config, a in sorted(aggs.items())
+    }
+
+
+def render_table(aggs: dict[str, ConfigAgg]) -> str:
+    """The human-readable Table 3 analogue."""
+    lines = [f"{'config':<28} {'jobs':>5} {'solved':>7} {'term':>5} "
+             f"{'nonterm':>8} {'unk':>5} {'t/o':>5} {'err':>5} "
+             f"{'total(s)':>9} {'mean(s)':>8}"]
+    for config in sorted(aggs):
+        a = aggs[config]
+        solved = (f"{a.solved}/{a.expected_known}" if a.expected_known
+                  else "-")
+        lines.append(f"{config:<28} {a.jobs:>5d} {solved:>7} "
+                     f"{a.terminating:>5d} {a.nonterminating:>8d} "
+                     f"{a.unknown:>5d} {a.timeout:>5d} {a.error:>5d} "
+                     f"{a.total_seconds:>9.2f} {a.mean_seconds:>8.2f}")
+    shown = [a for a in aggs.values() if a.counters]
+    if shown:
+        lines.append("\neffort (summed obs counters):")
+        names = sorted({n for a in shown for n in a.counters})
+        for config in sorted(aggs):
+            counters = aggs[config].counters
+            if counters:
+                detail = "  ".join(f"{n.split('.', 1)[1]}={counters[n]}"
+                                   for n in names if n in counters)
+                lines.append(f"  {config:<26} {detail}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Aggregate a corpus result store (Table 3 style).")
+    parser.add_argument("store", help="results JSONL written by `repro bench`")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the aggregate as JSON")
+    args = parser.parse_args(argv)
+    rows = list(read_rows(args.store))
+    if not rows:
+        print("no result rows in store", file=sys.stderr)
+        return 1
+    aggs = aggregate_rows(rows)
+    try:
+        if args.json:
+            print(json.dumps(to_dict(aggs), indent=2))
+        else:
+            print(render_table(aggs))
+    except BrokenPipeError:  # `repro report store | head` is fine
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

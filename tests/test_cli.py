@@ -92,3 +92,95 @@ def test_cli_sequence_flag(tmp_path, capsys):
     path.write_text(TERMINATING)
     assert main(["--sequence", "iii", str(path)]) == 0
     assert "multi(iii)" in capsys.readouterr().out
+
+
+def test_cli_run_subcommand_is_default_mode(tmp_path, capsys):
+    path = tmp_path / "prog.t"
+    path.write_text(TERMINATING)
+    assert main(["run", "--quiet", str(path)]) == 0
+    assert capsys.readouterr().out.strip() == "TERMINATING"
+
+
+def test_cli_json_output(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "prog.t"
+    path.write_text(TERMINATING)
+    assert main(["run", "--json", str(path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verdict"] == "terminating"
+    assert payload["rounds"] >= 1
+    assert payload["seconds"] > 0
+    assert payload["module_kinds"]
+    assert payload["stats"]["metrics"]["counters"]["refinement.rounds"] >= 1
+
+
+def test_cli_json_nonterminating_witness(capsys):
+    import json
+
+    assert run_cli(["--json", "-"], stdin=DIVERGING) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verdict"] == "nonterminating"
+    assert "witness_word" in payload
+
+
+def test_cli_bench_and_report_subcommands(tmp_path, capsys):
+    import json
+
+    manifest = tmp_path / "m.json"
+    manifest.write_text(json.dumps({
+        "name": "cli-tiny",
+        "task_timeout": 30,
+        "programs": [
+            {"name": "a", "expected": "terminating", "source": TERMINATING},
+            {"name": "b", "expected": "nonterminating", "source": DIVERGING},
+        ],
+        "configs": [{"name": "default"}],
+    }))
+    store = tmp_path / "results.jsonl"
+    report = tmp_path / "report.json"
+    code = main(["bench", str(manifest), "--inprocess", "--store", str(store),
+                 "--report-json", str(report), "--fail-on-error"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 jobs" in out and "0 resumed" in out
+    payload = json.loads(report.read_text())
+    assert payload["by_status"] == {"terminating": 1, "nonterminating": 1}
+    assert payload["configs"]["default"]["solved"] == 2
+
+    # resume: the second invocation recomputes nothing
+    assert main(["bench", str(manifest), "--inprocess", "--quiet",
+                 "--store", str(store)]) == 0
+    assert "2 resumed, 0 run" in capsys.readouterr().out
+
+    # the report subcommand reads the same store
+    assert main(["report", str(store)]) == 0
+    assert "default" in capsys.readouterr().out
+
+
+def test_cli_bench_fail_on_error(tmp_path, capsys):
+    import json
+
+    manifest = tmp_path / "m.json"
+    manifest.write_text(json.dumps({
+        "name": "broken", "task_timeout": 30,
+        "programs": [{"name": "bad", "source": "program bad(\n"}],
+    }))
+    store = tmp_path / "results.jsonl"
+    code = main(["bench", str(manifest), "--inprocess", "--quiet",
+                 "--store", str(store), "--fail-on-error"])
+    capsys.readouterr()
+    assert code == 1
+
+
+def test_cli_race_subcommand(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "prog.t"
+    path.write_text(TERMINATING)
+    code = main(["race", str(path), "--inprocess", "--timeout", "60",
+                 "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["verdict"] == "terminating"
+    assert len(payload["attempts"]) == 2

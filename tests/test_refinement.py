@@ -110,6 +110,46 @@ def test_timeout_budget():
     assert result.reason == "timeout"
 
 
+def test_deadline_checked_inside_lasso_search():
+    """An already-expired deadline must abort the SCC sweep itself, not
+    wait for the next round boundary."""
+    import time
+
+    from repro.automata.emptiness import (ExplorationTimeout,
+                                          find_accepting_lasso)
+    from repro.program.cfg import build_cfg
+
+    gba = build_cfg(parse_program(SORT)).to_gba()
+    with pytest.raises(ExplorationTimeout):
+        find_accepting_lasso(gba, deadline=time.perf_counter() - 1.0)
+    # and without a deadline the same search still succeeds
+    assert find_accepting_lasso(gba) is not None
+
+
+def test_portfolio_budget_flows_to_later_configs(monkeypatch):
+    """Unused budget of an early-finishing config goes to the rest,
+    instead of every config being pinned to timeout/len(configs)."""
+    import repro.core.api as api
+    from repro.core.stats import AnalysisStats
+
+    from repro.core.refinement import TerminationResult
+
+    budgets = []
+
+    def fake_prove(program, config=None, collector=None):
+        budgets.append(config.timeout)
+        return TerminationResult(Verdict.UNKNOWN, stats=AnalysisStats())
+
+    monkeypatch.setattr(api, "prove_termination", fake_prove)
+    program = parse_program(COUNTDOWN)
+    api.prove_termination_portfolio(
+        program, configs=(AnalysisConfig(), AnalysisConfig()), timeout=10.0)
+    assert budgets[0] == pytest.approx(5.0, abs=0.5)
+    # the first attempt returned almost instantly; nearly the whole
+    # 10s budget must flow to the second config (was: a fixed 5s)
+    assert budgets[1] > 9.0
+
+
 def test_all_stage_sequences_solve_countdown():
     for name in ("i", "ii", "iii"):
         config = AnalysisConfig.multi_stage(name, timeout=30.0)
