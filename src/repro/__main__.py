@@ -26,6 +26,15 @@ Observability (see DESIGN.md, "Observability")::
     python -m repro.obs.report trace.jsonl           # per-phase breakdown
     python -m repro --profile examples.t             # breakdown inline
     python -m repro --stats-json stats.json examples.t
+
+Every subcommand shares one deterministic exit-code scheme so CI and
+scripts can branch on the outcome without scraping output:
+
+- **0** -- conclusive: a verdict was produced (``run``/``race``), or
+  every row of the corpus is conclusive (``bench``/``report``),
+- **2** -- inconclusive: verdict UNKNOWN or timeout, or some corpus
+  row is,
+- **3** -- error: unparsable program, error rows, or an empty store.
 """
 
 from __future__ import annotations
@@ -43,7 +52,9 @@ from repro.program.parser import ParseError, parse_program
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Automata-based program termination checking (PLDI'18).")
+        description="Automata-based program termination checking (PLDI'18).",
+        epilog="exit codes: 0 = conclusive verdict, 2 = unknown/timeout, "
+               "3 = parse error")
     parser.add_argument("file", help="program file ('-' reads stdin)")
     parser.add_argument("--single-stage", action="store_true",
                         help="always generalize to M_nondet (baseline of [33])")
@@ -113,7 +124,7 @@ def run_single(argv: list[str]) -> int:
         program = parse_program(source)
     except ParseError as err:
         print(f"parse error: {err}", file=sys.stderr)
-        return 2
+        return 3
 
     def analyze():
         if args.portfolio:
@@ -169,11 +180,11 @@ def run_single(argv: list[str]) -> int:
         if result.witness_word is not None:
             payload["witness_word"] = str(result.witness_word)
         print(json.dumps(payload, indent=2))
-        return 0 if result.verdict.value != "unknown" else 1
+        return 0 if result.verdict.value != "unknown" else 2
 
     print(result.verdict.value.upper())
     if args.quiet:
-        return 0 if result.verdict.value != "unknown" else 1
+        return 0 if result.verdict.value != "unknown" else 2
     if result.reason:
         print(f"reason: {result.reason}")
     if result.witness is not None:
@@ -189,7 +200,7 @@ def run_single(argv: list[str]) -> int:
         from repro.obs.report import aggregate, render
         print("\nper-phase time breakdown:")
         print(render(aggregate(tracer.records)))
-    return 0 if result.verdict.value != "unknown" else 1
+    return 0 if result.verdict.value != "unknown" else 2
 
 
 if __name__ == "__main__":

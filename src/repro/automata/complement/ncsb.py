@@ -30,10 +30,12 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterable, Iterator
 
+import repro.faults as _faults
 from repro.automata.classify import (is_complete, is_normalized_sdba,
                                      normalize_sdba, sdba_parts)
 from repro.automata.gba import GBA, State, Symbol
 from repro.automata.ops import complete
+from repro.core.budget import current_budget
 from repro.obs import metrics as _metrics
 
 
@@ -114,10 +116,15 @@ class _NCSBBase:
         key = (state, symbol)
         cached = self._succ_cache.get(key)
         if cached is None:
+            if _faults._ACTIVE is not None:
+                _faults.perturb("complement.ncsb")
             cached = self._compute_successors(state, symbol)
             self._succ_cache[key] = cached
             _metrics.inc(self._metric_expansions)
             _metrics.inc(self._metric_macrostates, len(cached))
+            budget = current_budget()
+            if budget is not None:
+                budget.charge_macrostates(len(cached))
         return cached
 
     # -- shared delta helpers ---------------------------------------------------

@@ -25,9 +25,11 @@ from repro.automata.complement.dispatch import (ComplementKind,
                                                 implicit_complement)
 from repro.automata.complement.ncsb import (MacroEncoder, MacroState,
                                             subsumes, subsumes_b)
+import repro.faults as _faults
 from repro.automata.emptiness import EmptyOracle, RemovalStats, remove_useless
 from repro.automata.gba import CachedImplicitGBA, GBA, ImplicitGBA, State
 from repro.automata.ops import ProductGBA
+from repro.core.budget import current_budget
 from repro.obs import metrics as _metrics
 from repro.obs.trace import get_tracer
 
@@ -106,6 +108,9 @@ class SubsumptionOracle(EmptyOracle):
         self._size += len(survivors) - len(group)
         self._groups[q_a] = survivors
         _metrics.gauge("difference.antichain.peak").max_of(self._size)
+        budget = current_budget()
+        if budget is not None:
+            budget.check_antichain(self._size)
 
     def contains(self, state: State) -> bool:
         q_a, macro = self._split(state)
@@ -157,6 +162,8 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
     edge lists instead of a fresh alphabet sort per pushed state.
     """
     tracer = get_tracer()
+    if _faults._ACTIVE is not None:
+        _faults.perturb("difference")
     with tracer.span("difference") as span:
         with tracer.span("complement") as comp_span:
             comp, used_kind = implicit_complement(

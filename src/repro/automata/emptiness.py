@@ -29,6 +29,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.automata.gba import GBA, ImplicitGBA, State, Symbol
 from repro.automata.words import UPWord
+from repro.core.budget import DeadlineExceeded, ResourceExhausted
 from repro.obs.trace import get_tracer
 
 
@@ -267,20 +268,26 @@ def _remove_useless(auto: ImplicitGBA, *,
     return result, stats
 
 
-class ExplorationLimit(RuntimeError):
-    """Raised when ``state_limit`` is exceeded during Algorithm 1."""
+class ExplorationLimit(ResourceExhausted):
+    """Raised when ``state_limit`` is exceeded during Algorithm 1.
+
+    Part of the :class:`~repro.core.budget.ReproError` taxonomy as a
+    :class:`~repro.core.budget.ResourceExhausted` with resource
+    ``"difference-states"`` -- the refinement loop answers it by
+    falling down the degradation ladder.
+    """
 
     def __init__(self, limit: int):
-        super().__init__(f"exploration limit of {limit} states exceeded")
-        self.limit = limit
+        super().__init__("difference-states",
+                         f"exploration limit of {limit} states exceeded",
+                         limit)
 
 
-class ExplorationTimeout(RuntimeError):
+class ExplorationTimeout(DeadlineExceeded):
     """Raised when the wall-clock ``deadline`` passes during Algorithm 1."""
 
     def __init__(self, deadline: float):
-        super().__init__("exploration deadline exceeded")
-        self.deadline = deadline
+        super().__init__("exploration deadline exceeded", deadline)
 
 
 def is_empty(auto: ImplicitGBA, **kwargs) -> bool:

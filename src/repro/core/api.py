@@ -15,7 +15,9 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+import repro.faults as faults
 from repro.core.config import AnalysisConfig
+from repro.core.firewall import screen
 from repro.core.refinement import RefinementEngine, TerminationResult, Verdict
 from repro.core.stats import AnalysisStats, StatsCollector
 from repro.program.ast import Program
@@ -27,10 +29,26 @@ def prove_termination(program: Program,
                       config: AnalysisConfig | None = None,
                       collector: StatsCollector | None = None,
                       ) -> TerminationResult:
-    """Run the termination analysis on a parsed program."""
+    """Run the termination analysis on a parsed program.
+
+    Two robustness layers wrap the engine here: a fault plan from the
+    configuration (or the ``REPRO_FAULT_PLAN`` environment variable) is
+    activated around the run, and -- unless ``config.firewall`` is off
+    -- every conclusive verdict is independently re-validated by
+    :func:`repro.core.firewall.screen` before being returned.
+    """
+    config = config or AnalysisConfig()
     cfg = build_cfg(program)
     engine = RefinementEngine(cfg, config, collector)
-    return engine.run()
+    plan = faults.resolve_plan(config.fault_plan)
+    if plan is not None:
+        with faults.use_plan(plan):
+            result = engine.run()
+    else:
+        result = engine.run()
+    if config.firewall:
+        result = screen(result, config.timeout)
+    return result
 
 
 def prove_termination_source(source: str,
@@ -92,13 +110,21 @@ def prove_termination_portfolio(program: Program,
     for index, config in enumerate(configs):
         if timeout is not None:
             remaining = timeout - (time.perf_counter() - start)
-            budget = max(remaining, 0.0) / (len(configs) - index)
+            if remaining <= 0:
+                # The budget is gone: launching an attempt with a zero
+                # (or negative) timeout would only burn more wall-clock
+                # on setup before its first deadline check fires.
+                break
+            budget = remaining / (len(configs) - index)
             config = config.with_(timeout=budget)
         collector = collector_factory() if collector_factory is not None else None
         result = prove_termination(program, config, collector)
         attempts.append(result.stats)
         if result.verdict is not Verdict.UNKNOWN:
             break
-    assert result is not None
+    if result is None:
+        # The whole budget was spent before the first attempt could run.
+        result = TerminationResult(Verdict.UNKNOWN, reason="timeout")
+        result.stats.gave_up_reason = "timeout"
     result.attempts = attempts
     return result

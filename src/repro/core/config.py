@@ -76,6 +76,21 @@ class AnalysisConfig:
     timeout: float | None = None
     #: Try nontermination detection on unranked lassos.
     check_nontermination: bool = True
+    #: Independently re-validate every conclusive verdict before it
+    #: leaves ``prove_termination`` (see :mod:`repro.core.firewall`);
+    #: failures downgrade to UNKNOWN, never a wrong answer.
+    firewall: bool = True
+    #: Total NCSB macro-states built per run (None = unbounded).
+    macrostate_cap: int | None = None
+    #: Size cap for the subsumption antichain (None = unbounded).
+    antichain_cap: int | None = None
+    #: Constraint-count cap per Fourier--Motzkin elimination -- the
+    #: guard against the combination step's quadratic blowup.
+    fm_constraint_cap: int | None = 20_000
+    #: Deterministic fault plan as JSON (:mod:`repro.faults`), or None.
+    #: Travels through ``to_dict``/``from_dict`` so manifests and
+    #: worker payloads can switch chaos runs on per job.
+    fault_plan: str | None = None
 
     @staticmethod
     def single_stage(**kwargs) -> "AnalysisConfig":
@@ -107,6 +122,11 @@ class AnalysisConfig:
             "stage_state_budget": self.stage_state_budget,
             "timeout": self.timeout,
             "check_nontermination": self.check_nontermination,
+            "firewall": self.firewall,
+            "macrostate_cap": self.macrostate_cap,
+            "antichain_cap": self.antichain_cap,
+            "fm_constraint_cap": self.fm_constraint_cap,
+            "fault_plan": self.fault_plan,
         }
 
     @classmethod
@@ -149,4 +169,8 @@ class AnalysisConfig:
             opts.append("semidet")
         if not self.kernel_cache:
             opts.append("nocache")
+        if not self.firewall:
+            opts.append("nofw")
+        if self.fault_plan:
+            opts.append("faults")
         return f"{seq}+{'+'.join(opts)}"

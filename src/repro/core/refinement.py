@@ -15,6 +15,17 @@ Starting from the program GBA, the engine repeatedly
 until the remainder is empty (TERMINATING), a nontermination witness is
 found (NONTERMINATING), or a budget is exhausted (UNKNOWN).
 
+Resource discipline: every run owns a :class:`~repro.core.budget.Budget`
+(wall-clock deadline plus macrostate/antichain/FM caps from the
+configuration) scoped via ``use_budget``, so the solver and automata
+layers can poll it without parameter threading.  Cap overruns surface as
+typed :class:`~repro.core.budget.ResourceExhausted` errors caught here
+at round boundaries: a deadline always ends the run (UNKNOWN/timeout),
+while a state or constraint blowup first walks the *degradation ladder*
+-- the same proof re-generalized at structurally cheaper stages -- and
+only becomes UNKNOWN when every rung blows up too.  Each fallback is
+recorded as an ``Incident`` on the run's stats.
+
 Each run is observed end to end: an ``analysis`` span wraps the loop,
 every iteration gets a ``round`` span (with ``lasso-search``,
 ``prove-lasso``, and ``generalize`` children; ``difference`` /
@@ -31,14 +42,16 @@ from dataclasses import dataclass, field
 
 from repro.automata.complement.dispatch import ComplementKind
 from repro.automata.difference import difference
-from repro.automata.emptiness import (ExplorationLimit, ExplorationTimeout,
-                                      find_accepting_lasso)
+from repro.automata.emptiness import find_accepting_lasso
 from repro.automata.gba import GBA
 from repro.automata.words import UPWord
+from repro.core.budget import (Budget, DeadlineExceeded, ResourceExhausted,
+                               use_budget)
 from repro.core.config import AnalysisConfig
 from repro.core.module import CertifiedModule
 from repro.core.stages import Stage, build_finite_module, generalize
-from repro.core.stats import AnalysisStats, RefinementRound, StatsCollector
+from repro.core.stats import (AnalysisStats, Incident, RefinementRound,
+                              StatsCollector)
 from repro.obs import metrics as obs_metrics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import get_tracer
@@ -54,6 +67,18 @@ class Verdict(enum.Enum):
     UNKNOWN = "unknown"
 
 
+#: The degradation ladder: when subtracting a module blows a resource
+#: cap, the proof is re-generalized at the next rung and the subtraction
+#: retried.  Ordered from the most general module (worst-case
+#: complementation) down to the finite-trace module whose complement is
+#: trivial; the lasso module sits between the semideterministic and
+#: deterministic powerset stages because it is semideterministic but
+#: never larger than the sampled word.
+DEGRADATION_LADDER: tuple[Stage, ...] = (Stage.NONDET, Stage.SEMIDET,
+                                         Stage.LASSO, Stage.DETERMINISTIC,
+                                         Stage.FINITE)
+
+
 @dataclass
 class TerminationResult:
     """Outcome of a termination analysis."""
@@ -67,6 +92,9 @@ class TerminationResult:
     #: Per-configuration stats of a portfolio run (the winner's included;
     #: empty for direct :func:`~repro.core.api.prove_termination` calls).
     attempts: list[AnalysisStats] = field(default_factory=list)
+    #: The final uncertified remainder for TERMINATING verdicts, so the
+    #: firewall can recheck emptiness independently.  None otherwise.
+    remainder: GBA | None = None
 
     def __bool__(self) -> bool:
         return self.verdict is Verdict.TERMINATING
@@ -101,6 +129,17 @@ class RefinementEngine:
         collector = self._collector
         deadline = (time.perf_counter() + config.timeout
                     if config.timeout is not None else None)
+        budget = Budget(deadline=deadline,
+                        macrostate_cap=config.macrostate_cap,
+                        antichain_cap=config.antichain_cap,
+                        fm_constraint_cap=config.fm_constraint_cap)
+        with use_budget(budget):
+            return self._refine(tracer, registry, deadline)
+
+    def _refine(self, tracer, registry: MetricsRegistry,
+                deadline: float | None) -> TerminationResult:
+        config = self._config
+        collector = self._collector
         program_gba: GBA = self._cfg.to_gba()
         alphabet = program_gba.alphabet
         current = program_gba
@@ -111,7 +150,11 @@ class RefinementEngine:
                    reason: str | None = None) -> TerminationResult:
             stats = collector.finish(self._cfg.name, config.describe(), reason)
             stats.metrics = registry.snapshot()
-            return TerminationResult(verdict, modules, witness, word, stats, reason)
+            result = TerminationResult(verdict, modules, witness, word,
+                                       stats, reason)
+            if verdict is Verdict.TERMINATING:
+                result.remainder = current
+            return result
 
         def record(round_stats: RefinementRound) -> None:
             round_stats.seconds = time.perf_counter() - round_start
@@ -119,29 +162,92 @@ class RefinementEngine:
             registry.histogram("round.seconds").observe(round_stats.seconds)
             collector.stats.record_round(round_stats)
 
+        def note(kind: str, component: str, detail: str, index: int) -> None:
+            collector.stats.record_incident(
+                Incident(kind, component, detail, round=index))
+            registry.counter(f"incidents.{kind}").inc()
+
+        def subtract(minuend: GBA, module: CertifiedModule):
+            return difference(
+                minuend, module.automaton,
+                lazy=config.lazy_complement,
+                subsumption=config.subsumption,
+                via_semidet=config.via_semidet,
+                cache=config.kernel_cache,
+                state_limit=config.difference_state_limit,
+                deadline=deadline)
+
+        def degrade(failed: CertifiedModule, proof, exc: ResourceExhausted,
+                    index: int):
+            """Walk the ladder below ``failed``'s stage; retry the
+            subtraction at each rung.  Returns ``(module, result)`` on
+            success, ``(None, last_exc)`` when every rung blows up.
+            Deadline overruns propagate -- time cannot be degraded away.
+            """
+            tried = {failed.stage}
+            start = next((i for i, s in enumerate(DEGRADATION_LADDER)
+                          if s.value == failed.stage), len(DEGRADATION_LADDER))
+            last: ResourceExhausted = exc
+            for stage in DEGRADATION_LADDER[start + 1:]:
+                if stage.value in tried:
+                    continue
+                try:
+                    candidate = generalize(
+                        proof, (stage,), alphabet,
+                        state_budget=config.stage_state_budget,
+                        interpolants=False)
+                except DeadlineExceeded:
+                    raise
+                except ResourceExhausted as gen_exc:
+                    last = gen_exc
+                    continue
+                if candidate.stage in tried:
+                    continue
+                tried.add(candidate.stage)
+                note("budget.degraded", "refinement",
+                     f"{failed.stage} -> {candidate.stage} "
+                     f"after {last.resource}", index)
+                registry.counter("budget.degradations").inc()
+                try:
+                    return candidate, subtract(current, candidate)
+                except DeadlineExceeded:
+                    raise
+                except ResourceExhausted as retry_exc:
+                    last = retry_exc
+            return None, last
+
         for index in range(config.max_refinements):
             if deadline is not None and time.perf_counter() > deadline:
                 return finish(Verdict.UNKNOWN, reason="timeout")
             round_start = time.perf_counter()
             with tracer.span("round", index=index) as round_span:
                 # The budget is checked *inside* the long explorations
-                # too (lasso search here, Algorithm 1 in difference), so
-                # one oversized round cannot blow far past the deadline.
+                # too (lasso search here, Algorithm 1 in difference, the
+                # FM combination step in the solver), so one oversized
+                # round cannot blow far past the deadline.
                 try:
                     with tracer.span("lasso-search"):
                         word = find_accepting_lasso(current, deadline=deadline)
-                except ExplorationTimeout:
+                except DeadlineExceeded:
                     return finish(Verdict.UNKNOWN, reason="timeout")
                 if word is None:
                     return finish(Verdict.TERMINATING)
                 round_span.set(word=str(word))
 
                 lasso = Lasso.from_word(word)
-                with tracer.span("prove-lasso") as proof_span:
-                    proof = prove_lasso(
-                        lasso,
-                        check_nontermination=config.check_nontermination)
-                    proof_span.set(kind=proof.kind.value)
+                try:
+                    with tracer.span("prove-lasso") as proof_span:
+                        proof = prove_lasso(
+                            lasso,
+                            check_nontermination=config.check_nontermination)
+                        proof_span.set(kind=proof.kind.value)
+                except DeadlineExceeded:
+                    return finish(Verdict.UNKNOWN, reason="timeout")
+                except ResourceExhausted as exc:
+                    note("budget.exhausted", "prove-lasso",
+                         f"{exc.resource}: {exc.detail}", index)
+                    return finish(Verdict.UNKNOWN,
+                                  reason=f"resource exhausted: {exc.resource}")
                 round_span.set(proof=proof.kind.value)
                 round_stats = RefinementRound(word=str(word),
                                               proof_kind=proof.kind.value)
@@ -162,13 +268,39 @@ class RefinementEngine:
                 if deadline is not None and time.perf_counter() > deadline:
                     record(round_stats)
                     return finish(Verdict.UNKNOWN, reason="timeout")
-                with tracer.span("generalize") as gen_span:
-                    module = generalize(
-                        proof, config.stages, alphabet,
-                        state_budget=config.stage_state_budget,
-                        interpolants=config.interpolant_modules)
-                    gen_span.set(stage=module.stage,
-                                 states=len(module.automaton.states))
+                try:
+                    with tracer.span("generalize") as gen_span:
+                        module = generalize(
+                            proof, config.stages, alphabet,
+                            state_budget=config.stage_state_budget,
+                            interpolants=config.interpolant_modules)
+                        gen_span.set(stage=module.stage,
+                                     states=len(module.automaton.states))
+                except DeadlineExceeded:
+                    record(round_stats)
+                    return finish(Verdict.UNKNOWN, reason="timeout")
+                except ResourceExhausted as exc:
+                    # Re-generalize at the cheap end of the ladder: the
+                    # finite/lasso modules exist for every proof and
+                    # need no powerset construction or solver calls.
+                    note("budget.degraded", "generalize",
+                         f"{exc.resource} -> fallback module", index)
+                    registry.counter("budget.degradations").inc()
+                    try:
+                        module = generalize(
+                            proof, (Stage.FINITE, Stage.LASSO), alphabet,
+                            state_budget=config.stage_state_budget,
+                            interpolants=False)
+                    except DeadlineExceeded:
+                        record(round_stats)
+                        return finish(Verdict.UNKNOWN, reason="timeout")
+                    except ResourceExhausted as exc2:
+                        record(round_stats)
+                        note("budget.exhausted", "generalize",
+                             f"{exc2.resource}: {exc2.detail}", index)
+                        return finish(
+                            Verdict.UNKNOWN,
+                            reason=f"resource exhausted: {exc2.resource}")
                 round_stats.stage = module.stage
                 round_stats.module_states = len(module.automaton.states)
                 round_span.set(stage=module.stage)
@@ -181,21 +313,28 @@ class RefinementEngine:
                         and module.stage != Stage.FINITE.value):
                     companion = build_finite_module(proof, alphabet)
                 try:
-                    result = difference(
-                        current, module.automaton,
-                        lazy=config.lazy_complement,
-                        subsumption=config.subsumption,
-                        via_semidet=config.via_semidet,
-                        cache=config.kernel_cache,
-                        state_limit=config.difference_state_limit,
-                        deadline=deadline)
-                except ExplorationLimit:
-                    record(round_stats)
-                    return finish(Verdict.UNKNOWN,
-                                  reason="difference state limit")
-                except ExplorationTimeout:
+                    result = subtract(current, module)
+                except DeadlineExceeded:
                     record(round_stats)
                     return finish(Verdict.UNKNOWN, reason="timeout")
+                except ResourceExhausted as exc:
+                    try:
+                        module, result = degrade(module, proof, exc, index)
+                    except DeadlineExceeded:
+                        record(round_stats)
+                        return finish(Verdict.UNKNOWN, reason="timeout")
+                    if module is None:
+                        last = result  # (None, last_exc) from degrade
+                        record(round_stats)
+                        note("budget.exhausted", "difference",
+                             f"{last.resource}: {last.detail}", index)
+                        reason = ("difference state limit"
+                                  if last.resource == "difference-states"
+                                  else f"resource exhausted: {last.resource}")
+                        return finish(Verdict.UNKNOWN, reason=reason)
+                    round_stats.stage = module.stage
+                    round_stats.module_states = len(module.automaton.states)
+                    round_span.set(stage=module.stage, degraded=True)
                 if result.kind in (ComplementKind.SDBA_ORIGINAL,
                                    ComplementKind.SDBA_LAZY):
                     # the Figure 4 corpus: every SDBA sent to NCSB
@@ -211,7 +350,10 @@ class RefinementEngine:
                             cache=config.kernel_cache,
                             state_limit=config.difference_state_limit,
                             deadline=deadline)
-                    except (ExplorationLimit, ExplorationTimeout):
+                    except ResourceExhausted:
+                        # Includes deadline overruns: the companion is an
+                        # optional extra subtraction, and the next round's
+                        # deadline check ends the run if time is truly up.
                         extra = None
                     if extra is not None:
                         modules.append(companion)

@@ -17,6 +17,7 @@ from collections import deque
 from typing import Iterable, Sequence
 
 from repro.automata.gba import State, ba
+from repro.core.budget import ResourceExhausted
 from repro.core.module import CertifiedModule
 from repro.logic.predicates import Pred
 from repro.program.statements import Statement, hoare_valid
@@ -35,8 +36,11 @@ class Stage(enum.Enum):
     NONDET = "nondet"        # stage 4
 
 
-class StageBlowup(RuntimeError):
+class StageBlowup(ResourceExhausted):
     """A powerset-based stage exceeded its state budget."""
+
+    def __init__(self, detail: str = ""):
+        super().__init__("stage-states", detail)
 
 
 # -- stage 0: the initial certified lasso module --------------------------------

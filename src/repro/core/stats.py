@@ -18,6 +18,34 @@ from repro.automata.gba import GBA
 
 
 @dataclass
+class Incident:
+    """A structured record of a degradation or validation failure.
+
+    Incidents are the machine-readable audit trail of the robustness
+    layer: when the verdict firewall rejects a certificate, when the
+    budget ladder falls back to a cheaper stage, or when a resource cap
+    turns a run into UNKNOWN, one of these lands in
+    ``AnalysisStats.incidents`` (and a ``incidents.<kind>`` counter
+    ticks in the run's metrics).  Kinds in use:
+
+    - ``firewall.certificate`` / ``firewall.emptiness`` /
+      ``firewall.witness`` -- a conclusive verdict failed re-validation
+      and was downgraded to UNKNOWN,
+    - ``budget.degraded`` -- the refinement loop fell down the stage
+      ladder after a resource blowup,
+    - ``budget.exhausted`` -- a resource cap ended the analysis.
+    """
+
+    kind: str
+    component: str
+    detail: str = ""
+    round: int | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
 class RefinementRound:
     """One iteration of the loop of Figure 1."""
 
@@ -53,10 +81,18 @@ class AnalysisStats:
     #: Snapshot of the run's metrics registry (see :mod:`repro.obs.metrics`):
     #: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
     metrics: dict = field(default_factory=dict)
+    #: Degradations and validation failures (see :class:`Incident`).
+    incidents: list[Incident] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
         return len(self.rounds)
+
+    def record_incident(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+        counters = self.metrics.setdefault("counters", {})
+        key = f"incidents.{incident.kind}"
+        counters[key] = counters.get(key, 0) + 1
 
     def record_round(self, round_stats: RefinementRound) -> None:
         self.rounds.append(round_stats)
@@ -82,6 +118,7 @@ class AnalysisStats:
             "modules_by_stage": dict(self.modules_by_stage),
             "rounds": [asdict(r) for r in self.rounds],
             "metrics": self.metrics,
+            "incidents": [i.to_dict() for i in self.incidents],
         }
 
     @classmethod
@@ -95,6 +132,7 @@ class AnalysisStats:
                     metrics=data.get("metrics", {}))
         stats.rounds = [RefinementRound(**r) for r in data.get("rounds", ())]
         stats.modules_by_stage = Counter(data.get("modules_by_stage", {}))
+        stats.incidents = [Incident(**i) for i in data.get("incidents", ())]
         return stats
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+from repro.core.budget import current_budget
 from repro.logic.atoms import Atom, Rel
 from repro.logic.terms import LinTerm
 from repro.obs import metrics as _metrics
@@ -100,9 +101,15 @@ def eliminate(atoms: Sequence[Atom], names: Iterable[str], *,
     input.
     """
     _metrics.inc("logic.fm.eliminations")
+    budget = current_budget()
     try:
         current = _simplify(atoms, tighten)
         for name in names:
+            if budget is not None:
+                # FM combination can square the system per eliminated
+                # variable; this is the only guard between a pathological
+                # conjunction and an effectively hung solver call.
+                budget.charge_fm(len(current))
             pivoted = _pivot_equality(current, name)
             if pivoted is not None:
                 current = _simplify(pivoted, tighten)
@@ -204,6 +211,7 @@ def find_model(atoms: Sequence[Atom], *, tighten: bool = True,
     and reproducible).
     """
     _metrics.inc("logic.fm.models")
+    budget = current_budget()
     names: list[str] = sorted({n for atom in atoms for n in atom.variables()})
     # Eliminate back-to-front, remembering the systems so values can be
     # back-substituted in reverse order.
@@ -213,6 +221,8 @@ def find_model(atoms: Sequence[Atom], *, tighten: bool = True,
     except _Contradiction:
         return None
     for name in names:
+        if budget is not None:
+            budget.charge_fm(len(current))
         systems.append((name, current))
         pivoted = _pivot_equality(current, name)
         try:

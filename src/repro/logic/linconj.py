@@ -11,6 +11,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Mapping
 
+import repro.faults as _faults
 from repro.logic import fourier_motzkin as fm
 from repro.logic.atoms import Atom, Rel, negate_atom
 from repro.logic.terms import Coeff, LinTerm
@@ -102,6 +103,18 @@ class LinConj:
         equality is a disjunction, so both branches must be unsat.
         """
         _metrics.inc("logic.entailment_calls")
+        if _faults._ACTIVE is not None:
+            # Fault-injection site: crashes/delays here, and in
+            # adversarial mode the *returned* decision may be flipped.
+            # Only the return value is corrupted (never the underlying
+            # sat caches), so the verdict firewall re-checks exactly
+            # under repro.faults.suspended().
+            _faults.perturb("solver.entailment")
+            return _faults.filter_bool("solver.entailment",
+                                       self._entails_atom(atom))
+        return self._entails_atom(atom)
+
+    def _entails_atom(self, atom: Atom) -> bool:
         if not self.is_sat():
             return True
         for neg in negate_atom(atom):

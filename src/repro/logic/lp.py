@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Mapping
 
+import repro.faults as _faults
+from repro.core.budget import current_budget
 from repro.obs import metrics as _metrics
 from repro.obs.trace import get_tracer
 
@@ -109,6 +111,11 @@ class LinearProgram:
 
     def check_feasible(self) -> LPResult:
         """Feasibility only (phase I)."""
+        if _faults._ACTIVE is not None:
+            _faults.perturb("solver.lp")
+        budget = current_budget()
+        if budget is not None:
+            budget.check_deadline("lp")
         return self.maximize({})
 
     # -- internals: standard-form conversion + two-phase simplex -----------------

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 from fractions import Fraction
 
+from repro.core.budget import current_budget
 from repro.logic.linconj import TRUE, LinConj
 from repro.logic.lp import LinearProgram, LPStatus
 from repro.logic.terms import LinTerm
@@ -77,6 +78,11 @@ def synthesize_ranking(relation: LoopRelation,
     for the (rationally relaxed) relation.
     """
     tracer = get_tracer()
+    budget = current_budget()
+    if budget is not None:
+        # Cheap checkpoint between candidate rounds and the Farkas LP:
+        # a synthesis attempt never starts past the deadline.
+        budget.check_deadline("ranking-synthesis")
     with tracer.span("synthesize-ranking") as span:
         result = _synthesize_ranking(relation, invariant, span)
     return result

@@ -10,12 +10,18 @@ streams rows to a resumable JSONL store::
 returning the first conclusive verdict::
 
     python -m repro race examples/sort.t --timeout 30
+
+Both commands use the deterministic exit-code scheme shared by every
+``python -m repro`` subcommand: **0** all results conclusive, **2**
+some result unknown / timed out, **3** error rows or unusable input
+(parse error, empty store).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.api import DEFAULT_PORTFOLIO
@@ -30,7 +36,10 @@ from repro.runner.race import race_portfolio
 def bench_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro bench",
-        description="Evaluate a corpus manifest through the worker pool.")
+        description="Evaluate a corpus manifest through the worker pool.",
+        epilog="exit codes: 0 = all rows conclusive, 2 = some row "
+               "unknown or timed out, 3 = error rows (or --fail-fast "
+               "cancellation)")
     parser.add_argument("manifest", nargs="?", default=None,
                         help="corpus manifest JSON (default: the full "
                              "benchgen suite)")
@@ -52,7 +61,16 @@ def bench_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--report-json", metavar="FILE", default=None,
                         help="write the aggregate report as JSON")
     parser.add_argument("--fail-on-error", action="store_true",
-                        help="exit nonzero if any row has status 'error'")
+                        help="(kept for compatibility; error rows already "
+                             "exit 3 under the deterministic scheme)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="cancel the remaining jobs after the first "
+                             "'error' row (finished rows stay resumable)")
+    parser.add_argument("--fault-plan", metavar="JSON_OR_FILE", default=None,
+                        help="deterministic fault plan (inline JSON or a "
+                             "file containing it) injected into every "
+                             "config of the run -- chaos testing; see "
+                             "DESIGN.md 'Robustness'")
     parser.add_argument("--quiet", action="store_true",
                         help="no per-row progress lines")
     args = parser.parse_args(argv)
@@ -61,6 +79,19 @@ def bench_main(argv: list[str] | None = None) -> int:
         manifest = load_manifest(args.manifest)
     else:
         manifest = suite_manifest(task_timeout=args.task_timeout)
+    if args.fault_plan:
+        text = args.fault_plan
+        if os.path.isfile(text):
+            with open(text, encoding="utf-8") as fh:
+                text = fh.read()
+        from repro.faults import FaultPlan
+        FaultPlan.from_json(text)  # reject malformed plans up front
+        # The plan lands in every config dict, so it travels to the
+        # workers and -- being part of the job key -- gives each fault
+        # plan its own store rows.
+        entries = manifest.get("configs") or [{}]
+        manifest["configs"] = [dict(entry, fault_plan=text)
+                               for entry in entries]
 
     def on_row(row: dict) -> None:
         if not args.quiet:
@@ -79,7 +110,8 @@ def bench_main(argv: list[str] | None = None) -> int:
                          task_timeout=args.task_timeout,
                          resume=not args.no_resume,
                          retry_errors=args.retry_errors,
-                         pool=pool, on_row=on_row)
+                         pool=pool, on_row=on_row,
+                         fail_fast=args.fail_fast)
 
     mode = "in-process" if pool.inprocess else f"{pool.workers} workers"
     print(f"\n{summary.manifest}: {summary.total} jobs "
@@ -96,17 +128,21 @@ def bench_main(argv: list[str] | None = None) -> int:
         with open(args.report_json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
-    if args.fail_on_error and summary.errors:
+    if summary.errors:
         print(f"{summary.errors} error row(s) in {args.store}",
               file=sys.stderr)
-        return 1
+        return 3
+    if summary.by_status.get("unknown", 0) or summary.by_status.get("timeout", 0):
+        return 2
     return 0
 
 
 def race_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro race",
-        description="Race the configuration portfolio on one program.")
+        description="Race the configuration portfolio on one program.",
+        epilog="exit codes: 0 = conclusive verdict, 2 = unknown/timeout, "
+               "3 = parse error")
     parser.add_argument("file", help="program file ('-' reads stdin)")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-configuration budget in seconds")
@@ -133,7 +169,7 @@ def race_main(argv: list[str] | None = None) -> int:
         program = parse_program(source)
     except ParseError as err:
         print(f"parse error: {err}", file=sys.stderr)
-        return 2
+        return 3
 
     if args.sequences:
         names = [s.strip() for s in args.sequences.split(",") if s.strip()]
@@ -158,7 +194,7 @@ def race_main(argv: list[str] | None = None) -> int:
                           "gave_up_reason": a.gave_up_reason}
                          for a in result.attempts],
         }, indent=2))
-        return 0 if result.verdict.value != "unknown" else 1
+        return 0 if result.verdict.value != "unknown" else 2
 
     print(result.verdict.value.upper())
     if result.reason:
@@ -169,4 +205,4 @@ def race_main(argv: list[str] | None = None) -> int:
     for attempt in result.attempts:
         note = attempt.gave_up_reason or "completed"
         print(f"  {attempt.config:<32} {attempt.total_seconds:7.3f}s  {note}")
-    return 0 if result.verdict.value != "unknown" else 1
+    return 0 if result.verdict.value != "unknown" else 2

@@ -220,15 +220,18 @@ def run_corpus(manifest: dict,
                retry_errors: bool = False,
                pool: WorkerPool | None = None,
                on_row: Callable[[dict], None] | None = None,
+               fail_fast: bool = False,
                ) -> CorpusRun:
     """Evaluate a manifest, streaming rows into the JSONL store.
 
     With ``resume`` (default), jobs whose key already has a row are
     skipped -- re-running a finished corpus recomputes nothing.
     ``retry_errors`` additionally re-runs rows whose status is
-    ``error`` (fresh code often fixes a crash).  Returns the run
-    summary; ``summary.rows`` holds **all** rows of the matrix, reused
-    and new alike, for reporting.
+    ``error`` (fresh code often fixes a crash).  With ``fail_fast``,
+    the first ``error`` row cancels everything still queued or running
+    (finished rows stay in the store, so a fixed run resumes from
+    them).  Returns the run summary; ``summary.rows`` holds **all**
+    rows of the matrix, reused and new alike, for reporting.
     """
     start = time.perf_counter()
     jobs = expand_manifest(manifest, task_timeout=task_timeout)
@@ -246,12 +249,15 @@ def run_corpus(manifest: dict,
         rows_by_key = {job.key: done[job.key] for job in jobs
                        if job.key in done}
 
-        def on_outcome(outcome: TaskOutcome) -> None:
+        def on_outcome(outcome: TaskOutcome) -> bool | None:
             row = outcome_row(outcome)
             rows_by_key[row.get("key")] = row
             store.append(row)
             if on_row is not None:
                 on_row(row)
+            if fail_fast and row.get("status") == "error":
+                return False  # cancel the rest of the matrix
+            return None
 
         pool.run([job.payload() for job in todo], on_outcome=on_outcome)
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import time
 import traceback
 from collections import deque
@@ -44,6 +45,7 @@ except ImportError:  # pragma: no cover - exotic platforms
     _mp = None
     _mp_connection = None
 
+import repro.faults as _faults
 from repro.core.api import prove_termination
 from repro.core.config import AnalysisConfig
 from repro.core.refinement import Verdict
@@ -98,6 +100,7 @@ def analysis_task(payload: dict) -> dict:
         program = payload.get("program")
         if program is None:
             program = parse_program(payload["source"])
+        _maybe_fault_worker(config, same_process=bool(payload.get("_same_process")))
         result = prove_termination(program, config)
     except ParseError as err:
         row = base_row()
@@ -132,6 +135,26 @@ def analysis_task(payload: dict) -> dict:
             except Exception:
                 pass  # verdict/stats still travel in the plain row
     return row
+
+
+def _maybe_fault_worker(config: AnalysisConfig, *, same_process: bool) -> None:
+    """The ``worker`` fault site: deterministic harness-level failures.
+
+    In a subprocess the injected crash is a real SIGKILL so the pool's
+    worker-death retry/record path is exercised end to end; in-process
+    (where killing would take the harness down) the fault surfaces as an
+    exception and lands in an ``error`` row instead.
+    """
+    plan = _faults.resolve_plan(config.fault_plan)
+    if plan is None:
+        return
+    with _faults.use_plan(plan):
+        try:
+            _faults.perturb("worker")
+        except _faults.InjectedFault:
+            if same_process:
+                raise
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 def _worker_main(task: Callable[[dict], dict], payload: dict, conn) -> None:

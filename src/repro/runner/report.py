@@ -48,6 +48,10 @@ class ConfigAgg:
     solved: int = 0
     #: Rows that *had* a stated (non-"unknown") expectation.
     expected_known: int = 0
+    #: Rows with a *conclusive* verdict contradicting the stated
+    #: expectation -- the one count the soundness firewall must keep at
+    #: zero (chaos CI asserts exactly this).
+    unsound: int = 0
     total_seconds: float = 0.0
     max_seconds: float = 0.0
     counters: dict = field(default_factory=dict)
@@ -73,8 +77,11 @@ def aggregate_rows(rows) -> dict[str, ConfigAgg]:
         expected = row.get("expected")
         if expected and expected != "unknown":
             agg.expected_known += 1
-            if row.get("verdict") == expected:
+            verdict = row.get("verdict")
+            if verdict == expected:
                 agg.solved += 1
+            elif verdict in ("terminating", "nonterminating"):
+                agg.unsound += 1
         seconds = float(row.get("seconds") or 0.0)
         agg.total_seconds += seconds
         agg.max_seconds = max(agg.max_seconds, seconds)
@@ -90,6 +97,7 @@ def to_dict(aggs: dict[str, ConfigAgg]) -> dict:
         config: {
             "jobs": a.jobs, "solved": a.solved,
             "expected_known": a.expected_known,
+            "unsound": a.unsound,
             "terminating": a.terminating, "nonterminating": a.nonterminating,
             "unknown": a.unknown, "timeout": a.timeout, "error": a.error,
             "cancelled": a.cancelled,
@@ -130,7 +138,9 @@ def render_table(aggs: dict[str, ConfigAgg]) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro report",
-        description="Aggregate a corpus result store (Table 3 style).")
+        description="Aggregate a corpus result store (Table 3 style).",
+        epilog="exit codes: 0 = all rows conclusive, 2 = unknown/timeout "
+               "rows, 3 = error rows or an empty store")
     parser.add_argument("store", help="results JSONL written by `repro bench`")
     parser.add_argument("--json", action="store_true",
                         help="emit the aggregate as JSON")
@@ -138,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
     rows = list(read_rows(args.store))
     if not rows:
         print("no result rows in store", file=sys.stderr)
-        return 1
+        return 3
     aggs = aggregate_rows(rows)
     try:
         if args.json:
@@ -147,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
             print(render_table(aggs))
     except BrokenPipeError:  # `repro report store | head` is fine
         sys.stderr.close()
+    if any(a.error for a in aggs.values()):
+        return 3
+    if any(a.unknown or a.timeout for a in aggs.values()):
+        return 2
     return 0
 
 

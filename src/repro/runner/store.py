@@ -65,13 +65,20 @@ def read_rows(path: str | Path) -> Iterator[dict]:
 
     A half-written trailing line (the process died mid-``write``) is
     dropped rather than raised: resume treats that job as not done.
+    The file is read in binary and decoded per line because a tear can
+    land *inside* a multi-byte UTF-8 sequence -- text-mode iteration
+    would raise ``UnicodeDecodeError`` on the torn tail and lose every
+    intact row behind the same buffered read.
     """
     path = Path(path)
     if not path.exists():
         return
-    with path.open(encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
+    with path.open("rb") as fh:
+        for raw in fh:
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                continue
             if not line:
                 continue
             try:

@@ -93,6 +93,48 @@ def test_validator_checks_initial_shape():
     assert any("oldrnk" in p for p in problems)
 
 
+def test_validator_catches_mutated_rank_coefficients():
+    # Firewall threat model: the certificate is internally consistent
+    # but its ranking term was corrupted after synthesis.
+    proof, cert = certify([GUARD], [GUARD, DEC])
+    from repro.ranking.certificate import RankCertificate
+    broken = RankCertificate(cert.stem_preds, cert.loop_preds,
+                             cert.ranking + 5)
+    problems = validate_certificate(broken, proof.lasso.stem,
+                                    proof.lasso.loop)
+    assert problems
+
+
+ONE = var("none") * 0 + 1
+
+
+def test_validator_catches_dropped_invariant_conjunct():
+    # x := x - w only terminates because the stem pins w = 1; a head
+    # predicate without that supporting invariant must be rejected.
+    stem = [Assign("w", ONE)]
+    loop = [GUARD, Assign("x", x - w)]
+    proof, cert = certify(stem, loop)
+    assert proof.needs_invariant
+    from repro.ranking.certificate import RankCertificate
+    bad = cert.loop_preds.copy()
+    bad[0] = rank_decrease_pred(cert.ranking)  # invariant conjunct gone
+    broken = RankCertificate(cert.stem_preds, bad, cert.ranking)
+    problems = validate_certificate(broken, proof.lasso.stem,
+                                    proof.lasso.loop)
+    assert problems
+
+
+def test_validator_catches_stem_not_establishing_head():
+    # The certificate itself is honest, but validated against a stem
+    # that never establishes the invariant (w = 0 instead of 1): the
+    # stem Hoare triple into the loop head must fail.
+    proof, cert = certify([Assign("w", ONE)], [GUARD, Assign("x", x - w)])
+    assert proof.needs_invariant
+    wrong_stem = [Assign("w", var("none") * 0)]
+    problems = validate_certificate(cert, wrong_stem, proof.lasso.loop)
+    assert problems
+
+
 def test_rank_decrease_pred_shape():
     pred = rank_decrease_pred(x, conj(atom_gt(x, -10)))
     (fin,) = pred.fin_disjuncts

@@ -66,14 +66,14 @@ program m(x, y):
         x := x + y
         y := y - 1
 """)
-    assert main(["--quiet", str(path)]) == 1
+    assert main(["--quiet", str(path)]) == 2
     assert "UNKNOWN" in capsys.readouterr().out
 
 
 def test_cli_parse_error(tmp_path, capsys):
     path = tmp_path / "prog.t"
     path.write_text("program broken(x)\n  oops")
-    assert main([str(path)]) == 2
+    assert main([str(path)]) == 3
     assert "parse error" in capsys.readouterr().err
 
 
@@ -170,7 +170,7 @@ def test_cli_bench_fail_on_error(tmp_path, capsys):
     code = main(["bench", str(manifest), "--inprocess", "--quiet",
                  "--store", str(store), "--fail-on-error"])
     capsys.readouterr()
-    assert code == 1
+    assert code == 3
 
 
 def test_cli_race_subcommand(tmp_path, capsys):

@@ -1,0 +1,116 @@
+"""Tests for the deterministic fault-injection layer (:mod:`repro.faults`)."""
+
+import json
+
+import pytest
+
+import repro.faults as faults
+from repro.core.budget import ReproError
+from repro.faults import FaultPlan, InjectedFault
+
+
+def drive(plan: FaultPlan, site: str, rounds: int = 200) -> dict:
+    """Run ``rounds`` perturb calls; return {'crash': n, 'delay': n}."""
+    crashes = 0
+    with faults.use_plan(plan):
+        for _ in range(rounds):
+            try:
+                faults.perturb(site)
+            except InjectedFault:
+                crashes += 1
+        counts = faults.injected_counts()
+    return {"crashes": crashes, "counts": counts}
+
+
+# -- plan parsing -------------------------------------------------------------
+
+
+def test_plan_json_round_trip():
+    plan = FaultPlan(seed=7, crash_rate=0.1, delay_rate=0.05,
+                     delay_seconds=0.001, wrong_answer_rate=0.2,
+                     sites=("solver.lp", "difference"))
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+
+
+def test_plan_rejects_unknown_keys():
+    with pytest.raises((ValueError, TypeError)):
+        FaultPlan.from_json(json.dumps({"seed": 1, "crash_rat": 0.5}))
+
+
+def test_plan_from_env(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR,
+                       json.dumps({"seed": 3, "crash_rate": 0.5}))
+    plan = faults.FaultPlan.from_env()
+    assert plan is not None and plan.seed == 3
+    monkeypatch.delenv(faults.ENV_VAR)
+    assert faults.FaultPlan.from_env() is None
+
+
+def test_resolve_plan_prefers_config_over_env(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, json.dumps({"seed": 1}))
+    from_config = faults.resolve_plan(json.dumps({"seed": 99}))
+    assert from_config is not None and from_config.seed == 99
+    from_env = faults.resolve_plan(None)
+    assert from_env is not None and from_env.seed == 1
+
+
+# -- deterministic injection --------------------------------------------------
+
+
+def test_injection_is_deterministic_per_seed_and_site():
+    plan = FaultPlan(seed=11, crash_rate=0.3, delay_rate=0.0)
+    first = drive(plan, "solver.lp")
+    second = drive(plan, "solver.lp")
+    assert first == second
+    assert first["crashes"] > 0
+    other_site = drive(plan, "difference")
+    assert other_site["crashes"] > 0  # its own stream, still active
+
+
+def test_different_seeds_give_different_streams():
+    a = [drive(FaultPlan(seed=s, crash_rate=0.3), "solver.lp")["crashes"]
+         for s in range(5)]
+    assert len(set(a)) > 1, "five seeds producing identical crash counts"
+
+
+def test_injected_fault_is_repro_error_with_site():
+    plan = FaultPlan(seed=0, crash_rate=1.0)
+    with faults.use_plan(plan):
+        with pytest.raises(InjectedFault) as err:
+            faults.perturb("complement.ncsb")
+    assert isinstance(err.value, ReproError)
+    assert err.value.site == "complement.ncsb"
+
+
+def test_sites_filter_limits_injection():
+    plan = FaultPlan(seed=0, crash_rate=1.0, sites=("solver",))
+    with faults.use_plan(plan):
+        faults.perturb("difference")  # filtered out: no crash
+        with pytest.raises(InjectedFault):
+            faults.perturb("solver.lp")  # prefix "solver" matches
+
+
+def test_suspended_disables_injection():
+    plan = FaultPlan(seed=0, crash_rate=1.0, wrong_answer_rate=1.0)
+    with faults.use_plan(plan):
+        with faults.suspended():
+            faults.perturb("solver.lp")  # no crash
+            assert faults.filter_bool("solver.entailment", True) is True
+        with pytest.raises(InjectedFault):
+            faults.perturb("solver.lp")
+
+
+def test_filter_bool_flips_and_counts():
+    plan = FaultPlan(seed=0, wrong_answer_rate=1.0)
+    with faults.use_plan(plan):
+        assert faults.filter_bool("solver.entailment", True) is False
+        assert faults.filter_bool("solver.entailment", False) is True
+        counts = faults.injected_counts()
+    assert counts["solver.entailment"]["flip"] == 2
+
+
+def test_no_active_plan_is_a_no_op():
+    assert faults._ACTIVE is None
+    faults.perturb("solver.lp")  # nothing raised
+    assert faults.filter_bool("solver.lp", True) is True

@@ -135,7 +135,47 @@ def test_store_roundtrip_and_torn_tail(tmp_path):
     assert len(list(read_rows(path))) == 3
 
 
+def test_store_tail_torn_inside_multibyte_codepoint(tmp_path):
+    path = tmp_path / "rows.jsonl"
+    with ResultStore(path) as store:
+        store.append({"key": "k1", "status": "terminating", "note": "naïve λ"})
+        store.append({"key": "k2", "status": "timeout"})
+    # a crash can cut the file anywhere -- including *inside* a
+    # multi-byte UTF-8 sequence, which a text-mode reader would refuse
+    # to decode before it could even see the newline structure
+    torn = '{"key": "k3", "note": "λ'.encode("utf-8")
+    with path.open("ab") as fh:
+        fh.write(torn[:-1])  # cut mid-codepoint
+    rows = list(read_rows(path))
+    assert [r["key"] for r in rows] == ["k1", "k2"]
+    assert rows[0]["note"] == "naïve λ"
+    assert ResultStore(path).load().keys() == {"k1", "k2"}
+    # appending repairs the torn tail so the new row stays readable
+    with ResultStore(path) as store:
+        store.append({"key": "k4", "status": "error"})
+    assert {r["key"] for r in read_rows(path)} == {"k1", "k2", "k4"}
+
+
 # -- the corpus driver ----------------------------------------------------------
+
+
+def test_run_corpus_fail_fast_cancels_rest(tmp_path):
+    manifest = tiny_manifest(programs=[
+        {"name": "bad", "source": "program bad(\n"},
+        {"name": "a", "source": INLINE_TERMINATING,
+         "expected": "terminating"},
+        {"name": "b", "source": INLINE_DIVERGING,
+         "expected": "nonterminating"},
+    ])
+    store = tmp_path / "results.jsonl"
+    summary = run_corpus(manifest, store, pool=inprocess_pool(workers=1),
+                         fail_fast=True)
+    assert summary.total == 3
+    assert summary.errors == 1
+    assert len(summary.rows) < 3  # the rest of the matrix was cancelled
+    # finished rows stay resumable: a fixed rerun picks up where it stopped
+    again = run_corpus(manifest, store, pool=inprocess_pool(workers=1))
+    assert again.skipped == len(summary.rows)
 
 
 def test_run_corpus_and_resume_zero_recompute(tmp_path):
