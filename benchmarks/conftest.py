@@ -46,6 +46,7 @@ def write_bench_json(name: str, payload: dict) -> Path:
         "config": {"timeout": TIMEOUT, "n_random": N_RANDOM},
     }
     record.update(payload)
+    BENCH_OUT.mkdir(parents=True, exist_ok=True)
     path = BENCH_OUT / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")

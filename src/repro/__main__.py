@@ -64,6 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use NCSB-Original instead of NCSB-Lazy")
     parser.add_argument("--no-subsumption", action="store_true",
                         help="disable the ceil(emp) antichain")
+    parser.add_argument("--no-simulation-reduction", action="store_true",
+                        help="disable simulation-based reduction (module "
+                             "quotienting + coarsened antichain)")
     parser.add_argument("--interpolants", action="store_true",
                         help="generalize infeasible counterexamples through "
                              "interpolant modules")
@@ -135,6 +138,8 @@ def run_single(argv: list[str]) -> int:
         config = AnalysisConfig(stages=stages,
                                 lazy_complement=not args.no_lazy,
                                 subsumption=not args.no_subsumption,
+                                simulation_reduction=(
+                                    not args.no_simulation_reduction),
                                 interpolant_modules=args.interpolants,
                                 via_semidet=args.via_semidet,
                                 timeout=args.timeout,

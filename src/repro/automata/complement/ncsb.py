@@ -91,6 +91,17 @@ class _NCSBBase:
         self._metric_expansions = f"complement.{self.KIND}.expansions"
         self._metric_macrostates = f"complement.{self.KIND}.macrostates"
 
+    @property
+    def sdba(self) -> GBA:
+        """The prepared (complete, normalized) input SDBA: macro-state
+        components are subsets of its states."""
+        return self._auto
+
+    @property
+    def parts(self) -> tuple[frozenset[State], frozenset[State]]:
+        """The ``(Q1, Q2)`` split of the prepared SDBA."""
+        return self._q1, self._q2
+
     # -- ImplicitGBA protocol ------------------------------------------------
 
     @property
@@ -242,6 +253,14 @@ class MacroEncoder:
         self._bit_of: dict[State, int] = {}
         self._set_cache: dict[frozenset, int] = {}
         self._macro_cache: dict[MacroState, tuple[int, ...]] = {}
+
+    def bit(self, state: State) -> int:
+        """The (lazily assigned) bit of a single SDBA state."""
+        bit = self._bit_of.get(state)
+        if bit is None:
+            bit = 1 << len(self._bit_of)
+            self._bit_of[state] = bit
+        return bit
 
     def _bits(self, states: frozenset) -> int:
         cached = self._set_cache.get(states)

@@ -14,6 +14,22 @@ is maintained as the subsumption antichain ``ceil(emp)`` of Eq. 10:
 a product state ``(qA, qhat)`` is known-useless if some recorded
 ``(qA, rhat)`` with ``qhat <=' rhat`` is, where ``<='`` is Eq. 4 for
 NCSB-Original and Eq. 5 for NCSB-Lazy (Theorem 6.3 / 6.4).
+
+``simulation_reduction`` (default on) adds the Section 6.1 layer:
+
+- the subtrahend is quotiented by (part-respecting) direct-simulation
+  equivalence before complementation, so NCSB/rank run on a smaller
+  automaton, and
+- the antichain order is *coarsened* modulo a direct simulation on the
+  prepared SDBA: the quotient-friendly components compare "every state
+  of the recorded entry is simulated by some state of the candidate"
+  instead of plain superset.  Per the Lemma 6.2 simulation argument the
+  coarsening is sound for N and S under NCSB-Original (C must stay a
+  raw superset: a C-run that never visits F again can only be guessed
+  into S at an F-exit) and for N, C and S under NCSB-Lazy (B must stay
+  raw: a never-accepting run stuck in B blocks the next breakpoint).
+  When the computed relation is trivial (identity only) the oracle
+  falls back to the plain bitset path.
 """
 
 from __future__ import annotations
@@ -21,7 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.automata.complement.dispatch import (ComplementKind,
+from repro.automata.classify import (is_deterministic, is_finite_trace,
+                                     is_semideterministic, sdba_parts)
+from repro.automata.complement.dispatch import (ComplementKind, classify_kind,
                                                 implicit_complement)
 from repro.automata.complement.ncsb import (MacroEncoder, MacroState,
                                             subsumes, subsumes_b)
@@ -29,9 +47,17 @@ import repro.faults as _faults
 from repro.automata.emptiness import EmptyOracle, RemovalStats, remove_useless
 from repro.automata.gba import CachedImplicitGBA, GBA, ImplicitGBA, State
 from repro.automata.ops import ProductGBA
-from repro.core.budget import current_budget
+from repro.automata.simulation import direct_simulation, quotient
+from repro.core.budget import (DeadlineExceeded, ResourceExhausted,
+                               current_budget)
 from repro.obs import metrics as _metrics
 from repro.obs.trace import get_tracer
+
+#: Skip the simulation solvers above this many subtrahend states when no
+#: tighter ``simulation_cap`` is scoped (standalone library use): the
+#: solvers are near-linear in ``states x edges``, but the reduction is
+#: an optimization and must never dominate the difference itself.
+_SIM_STATE_GUARD = 512
 
 
 class SubsumptionOracle(EmptyOracle):
@@ -46,19 +72,42 @@ class SubsumptionOracle(EmptyOracle):
     encoding of the macro-state components (:class:`MacroEncoder`), with
     a component-size pre-filter in front of the bitwise checks; custom
     relations fall back to the generic frozenset path.
+
+    ``simulation`` (pairs ``(q, r)`` = "``q`` is direct-simulated by
+    ``r``" on the prepared SDBA) coarsens the order: components that
+    tolerate it compare modulo the simulation's down-closure (see the
+    module docstring for which components, per relation, and why).  A
+    trivial relation (identity only) is ignored.
     """
 
-    def __init__(self, relation: Callable[[MacroState, MacroState], bool]):
+    def __init__(self, relation: Callable[[MacroState, MacroState], bool],
+                 simulation: set[tuple[State, State]] | None = None):
         super().__init__()
         self._relation = relation
         self._use_bits = relation in (subsumes, subsumes_b)
         self._check_b = relation is subsumes_b
         self._encoder = MacroEncoder()
-        #: Per-group entries: ``(macro, encoded)`` on the bitset path,
-        #: ``(macro, None)`` on the generic path.
-        self._groups: dict[State, list[tuple[MacroState, tuple[int, ...] | None]]] = {}
+        #: ``down[r]`` = bitmask of ``{q : q direct-simulated by r}``;
+        #: None disables the coarsened path.
+        self._down: dict[State, int] | None = None
+        self._closure_cache: dict[frozenset, tuple[int, int]] = {}
+        if (simulation is not None and self._use_bits
+                and any(p != r for p, r in simulation)):
+            bit = self._encoder.bit
+            down: dict[State, int] = {}
+            for q, r in simulation:
+                down[r] = down.get(r, 0) | bit(q)
+            self._down = down
+        #: Per-group entries: ``(macro, raw, closure)`` -- bitset
+        #: encodings, ``closure`` only on the coarsened path, both None
+        #: on the generic path.
+        self._groups: dict[State, list[tuple[MacroState, tuple[int, ...] | None,
+                                             tuple[int, ...] | None]]] = {}
         self._size = 0
         self.prefilter_skips = 0
+        #: Antichain hits that only the simulation-coarsened order found
+        #: (the raw componentwise-superset check would have missed them).
+        self.sim_subsumption_hits = 0
 
     @staticmethod
     def _split(state: State) -> tuple[State, MacroState | None]:
@@ -72,25 +121,69 @@ class SubsumptionOracle(EmptyOracle):
             return state[0], state[1]
         return state, None
 
-    def _subsumed(self, small: tuple[MacroState, tuple[int, ...] | None],
-                  big: tuple[MacroState, tuple[int, ...] | None]) -> bool:
+    def _closure(self, states: frozenset) -> tuple[int, int]:
+        """Bitmask and popcount of the simulation down-closure of a
+        component set (every state simulated by some member)."""
+        cached = self._closure_cache.get(states)
+        if cached is None:
+            down = self._down
+            bit = self._encoder.bit
+            mask = 0
+            for q in states:
+                mask |= down.get(q) or bit(q)
+            cached = (mask, mask.bit_count())
+            self._closure_cache[states] = cached
+        return cached
+
+    def _subsumed(self, small: tuple[MacroState, tuple[int, ...] | None,
+                                     tuple[int, ...] | None],
+                  big: tuple[MacroState, tuple[int, ...] | None,
+                             tuple[int, ...] | None]) -> bool:
         """Is ``small`` subsumed by ``big`` (``small <=' big``)?"""
         if not self._use_bits:
             return self._relation(small[0], big[0])
         sn, sc, ss, sb, sln, slc, sls, slb = small[1]
         bn, bc, bs, bb, bln, blc, bls, blb = big[1]
-        # Superset on every component needs at-least-as-large sizes;
-        # comparing four ints is cheaper than four mask operations.
-        if sln < bln or slc < blc or sls < bls or (self._check_b and slb < blb):
-            self.prefilter_skips += 1
-            return False
-        return (sn & bn == bn and sc & bc == bc and ss & bs == bs
-                and (not self._check_b or sb & bb == bb))
+        if self._down is None:
+            # Superset on every component needs at-least-as-large sizes;
+            # comparing four ints is cheaper than four mask operations.
+            if sln < bln or slc < blc or sls < bls \
+                    or (self._check_b and slb < blb):
+                self.prefilter_skips += 1
+                return False
+            return (sn & bn == bn and sc & bc == bc and ss & bs == bs
+                    and (not self._check_b or sb & bb == bb))
+        # Coarsened order: a component passes when every state of big is
+        # simulated by some state of small, i.e. big is a subset of
+        # small's down-closure.  NCSB-Original keeps C raw; NCSB-Lazy
+        # keeps B raw (see module docstring).
+        cn, cc, cs, _cb, cln, clc, cls, _clb = small[2]
+        if self._check_b:
+            if cln < bln or clc < blc or cls < bls or slb < blb:
+                self.prefilter_skips += 1
+                return False
+            hit = (cn & bn == bn and cc & bc == bc and cs & bs == bs
+                   and sb & bb == bb)
+        else:
+            if cln < bln or slc < blc or cls < bls:
+                self.prefilter_skips += 1
+                return False
+            hit = (cn & bn == bn and sc & bc == bc and cs & bs == bs)
+        if hit and not (sn & bn == bn and sc & bc == bc and ss & bs == bs
+                        and (not self._check_b or sb & bb == bb)):
+            self.sim_subsumption_hits += 1
+        return hit
 
-    def _entry(self, macro: MacroState) -> tuple[MacroState, tuple[int, ...] | None]:
-        if self._use_bits:
-            return macro, self._encoder.encode(macro)
-        return macro, None
+    def _entry(self, macro: MacroState) -> tuple[MacroState, tuple[int, ...] | None,
+                                                 tuple[int, ...] | None]:
+        if not self._use_bits:
+            return macro, None, None
+        raw = self._encoder.encode(macro)
+        if self._down is None:
+            return macro, raw, None
+        (cn, cln), (cc, clc) = self._closure(macro.n), self._closure(macro.c)
+        (cs, cls), (cb, clb) = self._closure(macro.s), self._closure(macro.b)
+        return macro, raw, (cn, cc, cs, cb, cln, clc, cls, clb)
 
     def add(self, state: State) -> None:
         q_a, macro = self._split(state)
@@ -126,6 +219,72 @@ class SubsumptionOracle(EmptyOracle):
         return self._size + super().__len__()
 
 
+_KIND_GUARDS = {
+    ComplementKind.FINITE_TRACE: is_finite_trace,
+    ComplementKind.DBA: is_deterministic,
+    ComplementKind.SDBA_ORIGINAL: is_semideterministic,
+    ComplementKind.SDBA_LAZY: is_semideterministic,
+}
+
+#: Complementation cost levels (finite-trace < DBA < NCSB < general).
+_KIND_COST = {ComplementKind.FINITE_TRACE: 0, ComplementKind.DBA: 1,
+              ComplementKind.SDBA_ORIGINAL: 2, ComplementKind.SDBA_LAZY: 2,
+              ComplementKind.VIA_SEMIDET: 3, ComplementKind.RANK: 3}
+
+
+def _reduced_subtrahend(subtrahend: GBA,
+                        kind: ComplementKind | None) -> GBA:
+    """Quotient the subtrahend by direct-simulation equivalence.
+
+    Part-respecting on SDBAs (so semideterminism survives the merge).
+    The reduction is refused -- the original automaton returned -- when
+    it would worsen the complementation class (or break a pinned
+    ``kind``'s requirements), and when the simulation budget blows
+    (plain :class:`ResourceExhausted`; deadlines propagate).
+    """
+    n = len(subtrahend.states)
+    if n <= 1 or n > _SIM_STATE_GUARD or not subtrahend.is_ba():
+        return subtrahend
+    try:
+        related = direct_simulation(subtrahend, parts=sdba_parts(subtrahend))
+        reduced = quotient(subtrahend, related=related)
+    except DeadlineExceeded:
+        raise
+    except ResourceExhausted:
+        return subtrahend
+    removed = n - len(reduced.states)
+    if removed <= 0:
+        return subtrahend
+    if kind is not None:
+        guard = _KIND_GUARDS.get(kind)
+        if guard is not None and not guard(reduced):
+            return subtrahend
+    elif _KIND_COST[classify_kind(reduced)] > _KIND_COST[classify_kind(subtrahend)]:
+        return subtrahend
+    _metrics.inc("reduction.quotients")
+    _metrics.inc("reduction.states_removed", removed)
+    return reduced
+
+
+def _subtrahend_simulation(comp) -> set[tuple[State, State]] | None:
+    """Part-respecting direct simulation on the prepared SDBA behind an
+    NCSB complement, for coarsening the antichain; None when the
+    complement exposes no SDBA, the relation is trivial, or the
+    simulation budget blows (deadlines propagate)."""
+    sdba = getattr(comp, "sdba", None)
+    if sdba is None or len(sdba.states) > _SIM_STATE_GUARD:
+        return None
+    try:
+        relation = direct_simulation(sdba, parts=comp.parts)
+    except DeadlineExceeded:
+        raise
+    except ResourceExhausted:
+        return None
+    if all(p == r for p, r in relation):
+        return None
+    return relation
+
+
 @dataclass
 class DifferenceResult:
     """Outcome of a difference computation."""
@@ -144,6 +303,7 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
                subsumption: bool = True,
                via_semidet: bool = False,
                cache: bool = True,
+               simulation_reduction: bool = True,
                kind: ComplementKind | None = None,
                state_limit: int | None = None,
                deadline: float | None = None) -> DifferenceResult:
@@ -160,17 +320,27 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
     already carry their own lazily built edge index), and so is the
     product itself, giving Algorithm 1 precomputed per-state sorted
     edge lists instead of a fresh alphabet sort per pushed state.
+
+    ``simulation_reduction`` (default on) quotients the subtrahend by
+    direct-simulation equivalence before complementation and coarsens
+    the subsumption antichain with a simulation on the prepared SDBA
+    (see module docstring).  Both halves are language-preserving, so
+    verdicts never change -- only exploration effort.
     """
     tracer = get_tracer()
     if _faults._ACTIVE is not None:
         _faults.perturb("difference")
     with tracer.span("difference") as span:
+        module_states = len(subtrahend.states)
+        if simulation_reduction:
+            subtrahend = _reduced_subtrahend(subtrahend, kind)
         with tracer.span("complement") as comp_span:
             comp, used_kind = implicit_complement(
                 subtrahend, minuend.alphabet, lazy=lazy,
                 via_semidet=via_semidet, kind=kind)
             comp_span.set(kind=used_kind.value,
-                          module_states=len(subtrahend.states))
+                          module_states=len(subtrahend.states),
+                          reduced_from=module_states)
         wrappers: list[CachedImplicitGBA] = []
         left = minuend
         if cache and not isinstance(left, (GBA, CachedImplicitGBA)):
@@ -187,7 +357,9 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
             uses_lazy = used_kind is ComplementKind.SDBA_LAZY or (
                 used_kind is ComplementKind.VIA_SEMIDET and lazy)
             relation = subsumes_b if uses_lazy else subsumes
-            oracle = SubsumptionOracle(relation)
+            simulation = (_subtrahend_simulation(comp)
+                          if simulation_reduction else None)
+            oracle = SubsumptionOracle(relation, simulation=simulation)
         useful, stats = remove_useless(product, oracle=oracle,
                                        state_limit=state_limit,
                                        deadline=deadline)
@@ -196,6 +368,9 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
             stats.cache_misses += wrapper.cache_misses
         if isinstance(oracle, SubsumptionOracle):
             stats.prefilter_skips = oracle.prefilter_skips
+            stats.sim_subsumption_hits = oracle.sim_subsumption_hits
+            _metrics.inc("difference.antichain.sim_hits",
+                         oracle.sim_subsumption_hits)
         registry = _metrics.registry()
         registry.counter("difference.calls").inc()
         registry.counter("difference.explored_states").inc(stats.explored_states)

@@ -77,6 +77,9 @@ class RemovalStats:
     #: Antichain comparisons skipped by the cheap size pre-filter of the
     #: subsumption oracle.
     prefilter_skips: int = 0
+    #: Antichain hits found only by the simulation-coarsened order
+    #: (would have been missed by the raw componentwise-superset check).
+    sim_subsumption_hits: int = 0
 
 
 class _Frame:
@@ -184,6 +187,13 @@ def _remove_useless(auto: ImplicitGBA, *,
             source_edges = pending[frame.state]
             for symbol, target in frame.edges:
                 stats.explored_edges += 1
+                # Deadline poll on edges too: a single high-fan-out frame
+                # (dense product state) can stream thousands of edges
+                # without ever pushing, so the per-push poll alone could
+                # blow far past a cooperative deadline.
+                if (deadline is not None and stats.explored_edges % 256 == 0
+                        and time.perf_counter() > deadline):
+                    raise ExplorationTimeout(deadline)
                 source_edges.append((symbol, target))
                 pending_count += 1
                 if pending_count > stats.peak_pending_edges:

@@ -22,6 +22,17 @@ fixpoints over a monitored product game:
 F-visit; Spoiler visiting F again while still owing (without Duplicator
 serving at the same step) is the losing move.
 
+The fixpoints are solved with worklist/counter algorithms in the style
+of Henzinger--Henzinger--Kopke: each game node keeps, per Spoiler move,
+a counter of surviving Duplicator replies; when a node dies its
+predecessors' counters are decremented, and a counter hitting zero
+kills the dependent nodes.  Counters are initialized lazily from
+per-``(r, a)`` successor tallies, so total work is proportional to
+``states x edges`` instead of iterating the full relation to a
+fixpoint.  The solvers charge the ambient
+:class:`~repro.core.budget.Budget` (``charge_simulation``), making the
+reduction safe to leave on for large automata.
+
 Proposition 6.1 (``early <= early+1 <= language inclusion``) is checked
 by the test suite against word sampling, and Lemma 6.2 (the NCSB
 subsumptions are early simulations) against the actual complement
@@ -30,7 +41,15 @@ automata.
 
 from __future__ import annotations
 
+from collections import deque
+from typing import Iterable
+
 from repro.automata.gba import GBA, State
+from repro.core.budget import current_budget
+from repro.obs import metrics as _metrics
+
+#: Deadline-poll stride for the solver worklist loops.
+_POLL_EVERY = 4096
 
 
 def _violates(owing: bool, p_acc: bool, r_acc: bool) -> bool:
@@ -47,58 +66,125 @@ def _step(owing: bool, p_acc: bool, r_acc: bool) -> bool:
     return owing
 
 
+def _edge_index(auto: GBA, states: list[State], alphabet: list):
+    """Successor sets and predecessor lists per ``(state, symbol)``."""
+    succ: dict[tuple[State, object], frozenset[State]] = {}
+    pred: dict[tuple[State, object], list[State]] = {}
+    for q in states:
+        for a in alphabet:
+            targets = auto.successors(q, a)
+            if targets:
+                succ[(q, a)] = targets
+                for t in targets:
+                    pred.setdefault((t, a), []).append(q)
+    return succ, pred
+
+
 def _simulation_pairs(auto: GBA, initial_owing: bool) -> set[tuple[State, State]]:
     """Pairs ``(p, r)`` with ``p`` simulated by ``r``.
 
     ``initial_owing`` selects the relation: ``True`` adds the paper's
     ``i = -1`` obligation (early simulation), ``False`` gives early+1.
+
+    Worklist solver over the monitored product game: a node ``(p, r, o)``
+    dies when for some Spoiler move ``(a, p')`` the counter of surviving
+    valid Duplicator replies reaches zero; deaths propagate backwards
+    through the predecessor lists.
     """
     if not auto.is_ba():
         raise ValueError("early simulations are defined on BAs")
     accepting = auto.accepting
     states = sorted(auto.states, key=repr)
+    n = len(states)
+    budget = current_budget()
+    if budget is not None:
+        budget.charge_simulation(2 * n * n)
+    _metrics.inc("simulation.pairs", 2 * n * n)
+    alphabet = sorted(auto.alphabet, key=str)
+    succ, pred = _edge_index(auto, states, alphabet)
 
-    # Greatest fixpoint over game nodes (p, r, owing): a node survives iff
-    # for every Spoiler move (a, p') some Duplicator reply (a, r') is
-    # non-violating and leads to a surviving node.
-    alive: set[tuple[State, State, bool]] = {
-        (p, r, owing) for p in states for r in states for owing in (False, True)}
+    # Per (r, a) reply tallies: all successors / accepting successors.
+    n_all: dict[tuple[State, object], int] = {}
+    n_f: dict[tuple[State, object], int] = {}
+    for key, targets in succ.items():
+        n_all[key] = len(targets)
+        n_f[key] = sum(1 for t in targets if t in accepting)
 
-    changed = True
-    while changed:
-        changed = False
-        for node in list(alive):
-            p, r, owing = node
-            for symbol in auto.alphabet:
-                p_moves = auto.successors(p, symbol)
-                if not p_moves:
+    def init_cnt(p2: State, r: State, o: bool, a) -> int:
+        """Valid replies from node ``(., r, o)`` to Spoiler move ``(a, p2)``
+        while every node is still alive."""
+        if o and p2 in accepting:
+            return n_f.get((r, a), 0)
+        return n_all.get((r, a), 0)
+
+    dead: set[tuple[State, State, bool]] = set()
+    queue: deque[tuple[State, State, bool]] = deque()
+
+    def kill(node: tuple[State, State, bool]) -> None:
+        if node not in dead:
+            dead.add(node)
+            queue.append(node)
+
+    # Seed: nodes with an unanswerable Spoiler move under the initial
+    # (everything-alive) counters.
+    for p in states:
+        for a in alphabet:
+            p_moves = succ.get((p, a))
+            if not p_moves:
+                continue
+            p_has_acc = any(p2 in accepting for p2 in p_moves)
+            for r in states:
+                na = n_all.get((r, a), 0)
+                if na == 0:
+                    kill((p, r, False))
+                    kill((p, r, True))
+                elif p_has_acc and n_f.get((r, a), 0) == 0:
+                    kill((p, r, True))
+
+    # Propagate deaths.  Counters are created lazily at their first
+    # decrement: every earlier death touching a key passes through this
+    # same loop, so a missing counter still holds its initial value.
+    cnt: dict[tuple[State, State, bool, object], int] = {}
+    polls = 0
+    while queue:
+        p2, r2, o2 = queue.popleft()
+        p2_acc = p2 in accepting
+        r2_acc = r2 in accepting
+        for a in alphabet:
+            r_preds = pred.get((r2, a))
+            if not r_preds:
+                continue
+            p_preds = pred.get((p2, a), ())
+            for o in (False, True):
+                # Was the reply r2 (from some node (., r, o), against
+                # Spoiler move (a, p2)) valid and did it land on owing o2?
+                if _violates(o, p2_acc, r2_acc):
                     continue
-                r_moves = auto.successors(r, symbol)
-                for p2 in p_moves:
-                    p_acc = p2 in accepting
-                    ok = False
-                    for r2 in r_moves:
-                        r_acc = r2 in accepting
-                        if _violates(owing, p_acc, r_acc):
-                            continue
-                        if (p2, r2, _step(owing, p_acc, r_acc)) in alive:
-                            ok = True
-                            break
-                    if not ok:
-                        alive.discard(node)
-                        changed = True
-                        break
-                if node not in alive:
-                    break
+                if _step(o, p2_acc, r2_acc) != o2:
+                    continue
+                for r in r_preds:
+                    polls += 1
+                    if budget is not None and polls % _POLL_EVERY == 0:
+                        budget.check_deadline("simulation")
+                    key = (p2, r, o, a)
+                    count = cnt.get(key)
+                    if count is None:
+                        count = init_cnt(p2, r, o, a)
+                    count -= 1
+                    cnt[key] = count
+                    if count == 0:
+                        for p in p_preds:
+                            kill((p, r, o))
 
     # Project to state pairs: process position 0 (the states themselves).
     result: set[tuple[State, State]] = set()
     for p in states:
+        p_acc = p in accepting
         for r in states:
-            p_acc, r_acc = p in accepting, r in accepting
+            r_acc = r in accepting
             if _violates(initial_owing, p_acc, r_acc):
                 continue
-            if (p, r, _step(initial_owing, p_acc, r_acc)) in alive:
+            if (p, r, _step(initial_owing, p_acc, r_acc)) not in dead:
                 result.add((p, r))
     return result
 
@@ -113,41 +199,131 @@ def early_plus_one_simulation(auto: GBA) -> set[tuple[State, State]]:
     return _simulation_pairs(auto, initial_owing=False)
 
 
-def direct_simulation(auto: GBA) -> set[tuple[State, State]]:
+def direct_simulation(auto: GBA,
+                      parts: tuple[Iterable[State], Iterable[State]] | None = None,
+                      ) -> set[tuple[State, State]]:
     """Classical direct simulation (``p in F  =>  r in F`` stepwise).
 
     Strictly stronger than both early simulations; used for
-    simulation-based state-space reduction (:func:`quotient`).
+    simulation-based state-space reduction (:func:`quotient`) and for
+    coarsening the subsumption antichain.
+
+    ``parts`` optionally restricts the relation to pairs within the
+    same block (e.g. the ``(Q1, Q2)`` split of an SDBA): Duplicator may
+    then only reply inside Spoiler's part, which keeps quotients of
+    semideterministic automata semideterministic and keeps the
+    antichain coarsening part-consistent.
+
+    Worklist/counter solver (Henzinger--Henzinger--Kopke): counters
+    ``cnt[(q, r, a)]`` track how many ``a``-successors of ``r`` still
+    simulate ``q``; a removed pair decrements the counters of ``r``'s
+    predecessors and a zero counter removes the dependent pairs.
     """
     if not auto.is_ba():
         raise ValueError("direct simulation is defined on BAs")
     accepting = auto.accepting
     states = sorted(auto.states, key=repr)
-    related: set[tuple[State, State]] = {
-        (p, r) for p in states for r in states
-        if (p not in accepting) or (r in accepting)}
+    n = len(states)
+    budget = current_budget()
+    if budget is not None:
+        budget.charge_simulation(n * n)
+    _metrics.inc("simulation.pairs", n * n)
+    alphabet = sorted(auto.alphabet, key=str)
+    succ, pred = _edge_index(auto, states, alphabet)
 
-    changed = True
-    while changed:
-        changed = False
-        for pair in list(related):
-            p, r = pair
-            for symbol in auto.alphabet:
-                for p2 in auto.successors(p, symbol):
-                    if not any((p2, r2) in related
-                               for r2 in auto.successors(r, symbol)):
-                        related.discard(pair)
-                        changed = True
-                        break
-                if pair not in related:
-                    break
+    part_of: dict[State, int] | None = None
+    if parts is not None:
+        part_of = {}
+        for block_id, block in enumerate(parts):
+            for q in block:
+                part_of[q] = block_id
+
+    def compatible(p: State, r: State) -> bool:
+        if part_of is not None and part_of.get(p) != part_of.get(r):
+            return False
+        return (p not in accepting) or (r in accepting)
+
+    # Per (r, a) reply tallies by successor category (part, accepting?),
+    # for O(1) lazy counter initialization.
+    tallies: dict[tuple[State, object], dict[tuple[int | None, bool], int]] = {}
+    for key, targets in succ.items():
+        table: dict[tuple[int | None, bool], int] = {}
+        for t in targets:
+            cat = (part_of.get(t) if part_of is not None else None,
+                   t in accepting)
+            table[cat] = table.get(cat, 0) + 1
+        tallies[key] = table
+
+    def init_cnt(q: State, r: State, a) -> int:
+        """``|{r' in succ(r, a) : (q, r') initially related}|``."""
+        table = tallies.get((r, a))
+        if not table:
+            return 0
+        q_part = part_of.get(q) if part_of is not None else None
+        q_acc = q in accepting
+        return sum(count for (t_part, t_acc), count in table.items()
+                   if t_part == q_part and (not q_acc or t_acc))
+
+    related: set[tuple[State, State]] = {
+        (p, r) for p in states for r in states if compatible(p, r)}
+    removed: deque[tuple[State, State]] = deque()
+
+    def remove(pair: tuple[State, State]) -> None:
+        if pair in related:
+            related.discard(pair)
+            removed.append(pair)
+
+    # Seed: pairs with a Spoiler move that has no initially-related reply.
+    for p in states:
+        for a in alphabet:
+            p_moves = succ.get((p, a))
+            if not p_moves:
+                continue
+            for r in states:
+                if (p, r) not in related:
+                    continue
+                if any(init_cnt(p2, r, a) == 0 for p2 in p_moves):
+                    remove((p, r))
+
+    # Propagate removals (lazy counters: see _simulation_pairs).
+    cnt: dict[tuple[State, State, object], int] = {}
+    polls = 0
+    while removed:
+        q, r2 = removed.popleft()
+        for a in alphabet:
+            r_preds = pred.get((r2, a))
+            if not r_preds:
+                continue
+            q_preds = pred.get((q, a), ())
+            for r in r_preds:
+                polls += 1
+                if budget is not None and polls % _POLL_EVERY == 0:
+                    budget.check_deadline("simulation")
+                key = (q, r, a)
+                count = cnt.get(key)
+                if count is None:
+                    count = init_cnt(q, r, a)
+                count -= 1
+                cnt[key] = count
+                if count == 0:
+                    for p in q_preds:
+                        remove((p, r))
     return related
 
 
-def quotient(auto: GBA) -> GBA:
+def quotient(auto: GBA,
+             related: set[tuple[State, State]] | None = None,
+             parts: tuple[Iterable[State], Iterable[State]] | None = None,
+             ) -> GBA:
     """Quotient by direct-simulation equivalence (a language-preserving
-    state-space reduction usable on any BA)."""
-    related = direct_simulation(auto)
+    state-space reduction usable on any BA).
+
+    ``related`` reuses a precomputed :func:`direct_simulation`;
+    ``parts`` (forwarded to the solver) keeps SDBA quotients
+    part-respecting, so semideterminism survives the merge.
+    """
+    if related is None:
+        related = direct_simulation(auto, parts=parts)
     states = sorted(auto.states, key=repr)
     # equivalence classes of mutual simulation
     cls: dict[State, int] = {}

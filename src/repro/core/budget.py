@@ -47,7 +47,8 @@ class ResourceExhausted(ReproError):
 
     ``resource`` names the cap (``"deadline"``, ``"difference-states"``,
     ``"macrostates"``, ``"antichain"``, ``"fm-constraints"``,
-    ``"stage-states"``); the refinement loop keys its recovery on it.
+    ``"stage-states"``, ``"simulation"``); the refinement loop keys its
+    recovery on it.
     """
 
     def __init__(self, resource: str, detail: str = "",
@@ -80,7 +81,8 @@ class Budget:
     """
 
     __slots__ = ("deadline", "step_cap", "macrostate_cap", "antichain_cap",
-                 "fm_constraint_cap", "steps", "macrostates", "fm_checks")
+                 "fm_constraint_cap", "simulation_cap", "steps", "macrostates",
+                 "fm_checks", "simulation_pairs")
 
     #: Deadline polling stride for the cheap counters: one
     #: ``perf_counter`` call per this many charges.
@@ -90,15 +92,18 @@ class Budget:
                  step_cap: int | None = None,
                  macrostate_cap: int | None = None,
                  antichain_cap: int | None = None,
-                 fm_constraint_cap: int | None = None):
+                 fm_constraint_cap: int | None = None,
+                 simulation_cap: int | None = None):
         self.deadline = deadline
         self.step_cap = step_cap
         self.macrostate_cap = macrostate_cap
         self.antichain_cap = antichain_cap
         self.fm_constraint_cap = fm_constraint_cap
+        self.simulation_cap = simulation_cap
         self.steps = 0
         self.macrostates = 0
         self.fm_checks = 0
+        self.simulation_pairs = 0
 
     def remaining(self) -> float | None:
         """Wall-clock seconds left, or ``None`` without a deadline."""
@@ -150,6 +155,23 @@ class Budget:
         self.fm_checks += 1
         if self.fm_checks % self.CHECK_EVERY == 0:
             self.check_deadline("fourier-motzkin")
+
+    def charge_simulation(self, pairs: int) -> None:
+        """Charge ``pairs`` candidate pairs of a simulation solve.
+
+        Simulation-based reduction is an *optimization*: callers catch
+        the plain :class:`ResourceExhausted` (never the deadline
+        subclass) and fall back to the unreduced pipeline, so a blown
+        cap costs nothing but the reduction itself.  Doubles as the
+        solvers' cooperative deadline poll.
+        """
+        self.simulation_pairs += pairs
+        if (self.simulation_cap is not None
+                and self.simulation_pairs > self.simulation_cap):
+            raise ResourceExhausted("simulation",
+                                    f"{self.simulation_pairs} candidate pairs",
+                                    self.simulation_cap)
+        self.check_deadline("simulation")
 
 
 _CURRENT: Budget | None = None

@@ -62,6 +62,14 @@ class AnalysisConfig:
     #: pipeline (CachedImplicitGBA wrappers + per-state edge lists).
     #: Off is only useful for ablation benchmarks.
     kernel_cache: bool = True
+    #: Simulation-based reduction (Section 6.1): quotient the module
+    #: automaton by direct-simulation equivalence before complementation
+    #: and coarsen the subsumption antichain with a simulation on the
+    #: subtrahend.  Off is only useful for ablation benchmarks.
+    simulation_reduction: bool = True
+    #: Candidate-pair budget per run for the simulation solvers (None =
+    #: unbounded).  A blown cap skips the reduction, never the analysis.
+    simulation_cap: int | None = 200_000
     #: Generalize infeasible counterexamples through interpolant-based
     #: semideterministic modules (Ultimate-style interpolant automata)
     #: instead of stage 1's prefix modules.
@@ -116,6 +124,8 @@ class AnalysisConfig:
             "subsumption": self.subsumption,
             "via_semidet": self.via_semidet,
             "kernel_cache": self.kernel_cache,
+            "simulation_reduction": self.simulation_reduction,
+            "simulation_cap": self.simulation_cap,
             "interpolant_modules": self.interpolant_modules,
             "max_refinements": self.max_refinements,
             "difference_state_limit": self.difference_state_limit,
@@ -169,6 +179,8 @@ class AnalysisConfig:
             opts.append("semidet")
         if not self.kernel_cache:
             opts.append("nocache")
+        if not self.simulation_reduction:
+            opts.append("nosim")
         if not self.firewall:
             opts.append("nofw")
         if self.fault_plan:

@@ -79,6 +79,22 @@ DEGRADATION_LADDER: tuple[Stage, ...] = (Stage.NONDET, Stage.SEMIDET,
                                          Stage.FINITE)
 
 
+def ladder_tail(stage_value: str) -> tuple[Stage, ...]:
+    """The rungs to retry after a module of stage ``stage_value`` blew a
+    resource cap: everything strictly below it on the ladder.
+
+    A stage *not* on the ladder (e.g. ``"interp"`` interpolant modules)
+    restarts the ladder from the top -- every rung is structurally
+    cheaper than an off-ladder module, and silently skipping the ladder
+    (the old ``start = len(ladder)`` behavior) sent such runs straight
+    to UNKNOWN.
+    """
+    for position, stage in enumerate(DEGRADATION_LADDER):
+        if stage.value == stage_value:
+            return DEGRADATION_LADDER[position + 1:]
+    return DEGRADATION_LADDER
+
+
 @dataclass
 class TerminationResult:
     """Outcome of a termination analysis."""
@@ -132,7 +148,8 @@ class RefinementEngine:
         budget = Budget(deadline=deadline,
                         macrostate_cap=config.macrostate_cap,
                         antichain_cap=config.antichain_cap,
-                        fm_constraint_cap=config.fm_constraint_cap)
+                        fm_constraint_cap=config.fm_constraint_cap,
+                        simulation_cap=config.simulation_cap)
         with use_budget(budget):
             return self._refine(tracer, registry, deadline)
 
@@ -174,6 +191,7 @@ class RefinementEngine:
                 subsumption=config.subsumption,
                 via_semidet=config.via_semidet,
                 cache=config.kernel_cache,
+                simulation_reduction=config.simulation_reduction,
                 state_limit=config.difference_state_limit,
                 deadline=deadline)
 
@@ -185,10 +203,8 @@ class RefinementEngine:
             Deadline overruns propagate -- time cannot be degraded away.
             """
             tried = {failed.stage}
-            start = next((i for i, s in enumerate(DEGRADATION_LADDER)
-                          if s.value == failed.stage), len(DEGRADATION_LADDER))
             last: ResourceExhausted = exc
-            for stage in DEGRADATION_LADDER[start + 1:]:
+            for stage in ladder_tail(failed.stage):
                 if stage.value in tried:
                     continue
                 try:
@@ -348,6 +364,7 @@ class RefinementEngine:
                             lazy=config.lazy_complement,
                             subsumption=config.subsumption,
                             cache=config.kernel_cache,
+                            simulation_reduction=config.simulation_reduction,
                             state_limit=config.difference_state_limit,
                             deadline=deadline)
                     except ResourceExhausted:
@@ -358,6 +375,12 @@ class RefinementEngine:
                     if extra is not None:
                         modules.append(companion)
                         collector.stats.modules_by_stage[companion.stage] += 1
+                        # Fold the companion subtraction into the round's
+                        # counters: it is real effort of this round, and the
+                        # round's remainder size is the post-companion one
+                        # (a companion emptying the remainder must show).
+                        collector.observe_companion(round_stats, extra,
+                                                    companion.stage)
                         current = extra.automaton
                 record(round_stats)
                 modules.append(module)

@@ -36,6 +36,14 @@ class Stage(enum.Enum):
     NONDET = "nondet"        # stage 4
 
 
+#: Stage label of interpolant-based modules.  Deliberately *not* a
+#: :class:`Stage` member: interpolant modules sit outside the ladder of
+#: re-generalizable stages (they need the interpolating solver, not just
+#: a cheaper powerset), and the refinement loop's degradation logic
+#: keys off this being off-ladder (see ``ladder_tail``).
+INTERPOLANT_STAGE = "interp"
+
+
 class StageBlowup(ResourceExhausted):
     """A powerset-based stage exceeded its state budget."""
 
@@ -371,6 +379,7 @@ def generalize(proof: LassoProof,
             module = build_semideterministic_module(base,
                                                     state_budget=state_budget)
             if module is not None and module.language_contains(word):
+                module.stage = INTERPOLANT_STAGE
                 return module
     strong = [s for s in sequence if s not in (Stage.LASSO, Stage.NONDET)]
     weak = [s for s in sequence if s in (Stage.LASSO, Stage.NONDET)]

@@ -64,6 +64,11 @@ class RefinementRound:
     #: (proportional to the useful/active part, see RemovalStats).
     peak_pending_edges: int = 0
     complement_kind: str | None = None
+    #: Stage of the free companion module subtracted in the same round
+    #: (interpolant rounds), or None.  When set, the exploration
+    #: counters above include the companion subtraction's effort and
+    #: ``difference_states`` is the post-companion remainder size.
+    companion_stage: str | None = None
     seconds: float = 0.0
 
 
@@ -154,6 +159,24 @@ class StatsCollector:
         round_stats.cache_misses = result.stats.cache_misses
         round_stats.peak_pending_edges = result.stats.peak_pending_edges
         round_stats.complement_kind = result.kind.value
+
+    def observe_companion(self, round_stats: RefinementRound,
+                          result: DifferenceResult, stage: str) -> None:
+        """Fold a same-round companion subtraction into the round.
+
+        Unlike :meth:`observe_difference` this *accumulates*: the
+        companion's exploration effort adds to the main subtraction's
+        counters, while ``difference_states`` becomes the size of the
+        remainder the round actually ends with.
+        """
+        round_stats.companion_stage = stage
+        round_stats.difference_states = len(result.automaton.states)
+        round_stats.explored_states += result.stats.explored_states
+        round_stats.subsumption_hits += result.stats.subsumption_hits
+        round_stats.cache_hits += result.stats.cache_hits
+        round_stats.cache_misses += result.stats.cache_misses
+        round_stats.peak_pending_edges = max(round_stats.peak_pending_edges,
+                                             result.stats.peak_pending_edges)
 
     def observe_sdba(self, automaton: GBA) -> None:
         if self.capture_sdbas:

@@ -7,7 +7,11 @@ analysis run and folds its :meth:`~MetricsRegistry.snapshot` into
 ``AnalysisStats.metrics``, so every run's effort profile (entailment
 calls, Fourier--Motzkin eliminations, simplex pivots, macro-states
 expanded per complement class, antichain peak, cache hit ratio, ...)
-travels with its result.
+travels with its result.  The simulation-based reduction layer adds
+``simulation.pairs`` (candidate pairs handed to the solvers),
+``reduction.quotients`` / ``reduction.states_removed`` (subtrahend
+quotienting) and ``difference.antichain.sim_hits`` (antichain hits only
+the simulation-coarsened order found).
 
 Instruments are plain ``__slots__`` objects incremented in place --
 cheap enough to stay always-on (the paper-faithful counters in

@@ -191,3 +191,31 @@ def test_extracted_lasso_is_accepted(auto):
         assert is_empty_naive(auto)
     else:
         assert accepts(auto, word)
+
+
+# -- cooperative deadline on edge-heavy frontiers ----------------------------------
+
+def fan_out_gba(symbols: int) -> GBA:
+    """One pushed state, ``symbols`` explored self-loop edges."""
+    alphabet = {f"s{i}" for i in range(symbols)}
+    transitions = {("root", s): {"root"} for s in alphabet}
+    return ba(alphabet, transitions, ["root"], ["root"], states={"root"})
+
+
+def test_deadline_polled_on_explored_edges():
+    import time
+
+    from repro.automata.emptiness import ExplorationTimeout
+
+    # With a single state the pushed-state poll never fires; the edge
+    # poll must catch the expired deadline anyway.
+    auto = fan_out_gba(2000)
+    with pytest.raises(ExplorationTimeout):
+        remove_useless(auto, deadline=time.perf_counter() - 1.0)
+
+
+def test_fan_out_gba_completes_without_deadline():
+    auto = fan_out_gba(2000)
+    useful, stats = remove_useless(auto)
+    assert useful.states
+    assert stats.explored_edges == 2000

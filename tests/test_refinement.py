@@ -247,3 +247,66 @@ def test_via_semidet_route_sound():
                                       AnalysisConfig.single_stage(
                                           timeout=20.0, via_semidet=True))
     assert result.verdict is Verdict.TERMINATING
+
+
+# -- degradation-ladder restart for off-ladder stages ------------------------------
+
+def test_ladder_tail_walks_strictly_down():
+    from repro.core.refinement import DEGRADATION_LADDER, ladder_tail
+    from repro.core.stages import Stage
+    assert ladder_tail("nondet") == DEGRADATION_LADDER[1:]
+    assert ladder_tail("semi") == (Stage.LASSO, Stage.DETERMINISTIC,
+                                   Stage.FINITE)
+    assert ladder_tail("finite") == ()
+
+
+def test_ladder_tail_restarts_for_off_ladder_stages():
+    # "interp" (and any future off-ladder label) must retry the whole
+    # ladder, not silently degrade straight to UNKNOWN.
+    from repro.core.refinement import DEGRADATION_LADDER, ladder_tail
+    from repro.core.stages import INTERPOLANT_STAGE
+    assert ladder_tail(INTERPOLANT_STAGE) == DEGRADATION_LADDER
+    assert ladder_tail("no-such-stage") == DEGRADATION_LADDER
+
+
+def test_interpolant_modules_are_labeled_interp():
+    from repro.core.stages import INTERPOLANT_STAGE
+    source = """
+program two_phase(x, p):
+    while x > 0:
+        if p == 0:
+            x := x + 1
+            p := 1
+        else:
+            x := x - 2
+"""
+    result = prove_termination_source(
+        source, AnalysisConfig(interpolant_modules=True, timeout=60.0))
+    assert result.verdict is Verdict.TERMINATING
+    stages = [m.stage for m in result.modules]
+    assert INTERPOLANT_STAGE in stages
+    assert result.stats.modules_by_stage[INTERPOLANT_STAGE] >= 1
+
+
+def test_companion_subtraction_recorded_in_round_stats():
+    source = """
+program two_phase(x, p):
+    while x > 0:
+        if p == 0:
+            x := x + 1
+            p := 1
+        else:
+            x := x - 2
+"""
+    result = prove_termination_source(
+        source, AnalysisConfig(interpolant_modules=True, timeout=60.0))
+    assert result.verdict is Verdict.TERMINATING
+    companion_rounds = [r for r in result.stats.rounds
+                        if r.companion_stage is not None]
+    assert companion_rounds, "interp rounds must record their companion"
+    for round_stats in companion_rounds:
+        assert round_stats.companion_stage == "finite"
+        # the companion subtraction's exploration is accumulated, so the
+        # round can never report zero work after two subtractions
+        assert round_stats.explored_states > 0
+        assert round_stats.difference_states >= 0

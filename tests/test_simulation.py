@@ -172,3 +172,134 @@ def test_quotient_merges_twins():
               ["i"], ["p", "q"], states={"i", "p", "q"})
     reduced = quotient(auto)
     assert len(reduced.states) == 2
+
+
+# -- worklist solvers vs. naive chaotic iteration ----------------------------------
+#
+# The production solvers are worklist/counter implementations
+# (Henzinger--Henzinger--Kopke style); these references are the
+# original chaotic-iteration fixpoints, kept here as executable specs.
+
+def naive_simulation_pairs(auto, initial_owing):
+    from repro.automata.simulation import _step, _violates
+    accepting = auto.accepting
+    states = sorted(auto.states, key=repr)
+    alive = {(p, r, o) for p in states for r in states for o in (False, True)}
+    changed = True
+    while changed:
+        changed = False
+        for node in list(alive):
+            p, r, owing = node
+            for symbol in auto.alphabet:
+                p_moves = auto.successors(p, symbol)
+                if not p_moves:
+                    continue
+                r_moves = auto.successors(r, symbol)
+                for p2 in p_moves:
+                    p_acc = p2 in accepting
+                    if not any(not _violates(owing, p_acc, r2 in accepting)
+                               and (p2, r2,
+                                    _step(owing, p_acc, r2 in accepting)) in alive
+                               for r2 in r_moves):
+                        alive.discard(node)
+                        changed = True
+                        break
+                if node not in alive:
+                    break
+    result = set()
+    for p in states:
+        for r in states:
+            p_acc, r_acc = p in accepting, r in accepting
+            if _violates(initial_owing, p_acc, r_acc):
+                continue
+            if (p, r, _step(initial_owing, p_acc, r_acc)) in alive:
+                result.add((p, r))
+    return result
+
+
+def naive_direct_simulation(auto):
+    accepting = auto.accepting
+    states = sorted(auto.states, key=repr)
+    related = {(p, r) for p in states for r in states
+               if (p not in accepting) or (r in accepting)}
+    changed = True
+    while changed:
+        changed = False
+        for pair in list(related):
+            p, r = pair
+            for symbol in auto.alphabet:
+                for p2 in auto.successors(p, symbol):
+                    if not any((p2, r2) in related
+                               for r2 in auto.successors(r, symbol)):
+                        related.discard(pair)
+                        changed = True
+                        break
+                if pair not in related:
+                    break
+    return related
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_worklist_solvers_match_naive_fixpoints(seed):
+    auto = random_ba(seed * 31 + 7, n=4 + seed % 3)
+    assert direct_simulation(auto) == naive_direct_simulation(auto)
+    assert early_simulation(auto) == naive_simulation_pairs(auto, True)
+    assert early_plus_one_simulation(auto) == naive_simulation_pairs(auto, False)
+
+
+# -- part-respecting variant and SDBA quotients ------------------------------------
+
+@pytest.mark.parametrize("seed", range(8))
+def test_part_respecting_simulation_is_a_restriction(seed):
+    auto = random_sdba(seed)
+    from repro.automata.classify import sdba_parts
+    parts = sdba_parts(auto)
+    assert parts is not None
+    restricted = direct_simulation(auto, parts=parts)
+    full = direct_simulation(auto)
+    assert restricted <= full
+    part_of = {q: i for i, block in enumerate(parts) for q in block}
+    for p, r in restricted:
+        assert part_of[p] == part_of[r]
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_part_respecting_quotient_keeps_sdba(seed):
+    from repro.automata.classify import is_semideterministic, sdba_parts
+    auto = random_sdba(seed + 100)
+    reduced = quotient(auto, parts=sdba_parts(auto))
+    assert is_semideterministic(reduced)
+    for word in words(60, seed + 1300):
+        assert accepts(reduced, word) == accepts(auto, word), str(word)
+
+
+def test_quotient_reuses_precomputed_relation():
+    auto = random_ba(3, n=5)
+    related = direct_simulation(auto)
+    assert quotient(auto, related=related).states == quotient(auto).states
+
+
+# -- budget integration ------------------------------------------------------------
+
+def test_simulation_cap_blows_as_plain_resource_exhausted():
+    from repro.core.budget import (Budget, DeadlineExceeded,
+                                   ResourceExhausted, use_budget)
+    auto = random_ba(0, n=6)
+    with use_budget(Budget(simulation_cap=10)):
+        with pytest.raises(ResourceExhausted) as info:
+            direct_simulation(auto)
+        assert info.value.resource == "simulation"
+        assert not isinstance(info.value, DeadlineExceeded)
+    # without a budget the same solve succeeds
+    assert direct_simulation(auto)
+
+
+def test_simulation_pairs_metric_counts_solver_work():
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    auto = random_ba(1, n=4)
+    with use_registry(MetricsRegistry()) as registry:
+        direct_simulation(auto)
+        early_simulation(auto)
+        counters = registry.snapshot()["counters"]
+    n = len(auto.states)
+    assert counters["simulation.pairs"] == n * n + 2 * n * n

@@ -83,3 +83,67 @@ def test_collector_sdba_capture_flag():
     on = StatsCollector(capture_sdbas=True)
     on.observe_sdba(auto)
     assert on.sdbas == [auto]
+
+
+def test_describe_mentions_nosim_only_when_reduction_off():
+    assert "nosim" not in AnalysisConfig().describe()
+    assert "nosim" in AnalysisConfig(simulation_reduction=False).describe()
+
+
+def test_config_round_trips_simulation_fields():
+    config = AnalysisConfig(simulation_reduction=False, simulation_cap=1234)
+    data = config.to_dict()
+    assert data["simulation_reduction"] is False
+    assert data["simulation_cap"] == 1234
+    assert AnalysisConfig.from_dict(data) == config
+    # the default round-trips too (flag on, finite default cap)
+    default = AnalysisConfig()
+    assert AnalysisConfig.from_dict(default.to_dict()) == default
+    assert default.simulation_reduction is True
+
+
+def test_refinement_round_records_companion_stage():
+    stats = AnalysisStats(program="p", config="c")
+    plain = RefinementRound(word="w1", proof_kind="ranked", stage="interp",
+                            difference_states=4)
+    companion = RefinementRound(word="w2", proof_kind="ranked", stage="interp",
+                                companion_stage="finite", difference_states=7)
+    stats.record_round(plain)
+    stats.record_round(companion)
+    from dataclasses import asdict
+    assert asdict(plain)["companion_stage"] is None
+    assert asdict(companion)["companion_stage"] == "finite"
+    rebuilt = AnalysisStats.from_dict(stats.to_dict())
+    assert rebuilt.rounds[1].companion_stage == "finite"
+
+
+def test_collector_observe_companion_accumulates():
+    from repro.automata.emptiness import RemovalStats
+    from repro.automata.gba import ba
+
+    class FakeResult:
+        def __init__(self):
+            self.automaton = ba({"a"}, {("q", "a"): {"q"}}, ["q"], ["q"])
+            self.stats = RemovalStats()
+            self.stats.explored_states = 5
+            self.stats.subsumption_hits = 2
+            self.stats.cache_hits = 3
+            self.stats.cache_misses = 4
+            self.stats.peak_pending_edges = 9
+
+    collector = StatsCollector()
+    round_stats = RefinementRound(word="w", proof_kind="ranked",
+                                  stage="interp", difference_states=40,
+                                  explored_states=10, subsumption_hits=1,
+                                  cache_hits=1, cache_misses=1,
+                                  peak_pending_edges=2)
+    collector.observe_companion(round_stats, FakeResult(), "finite")
+    assert round_stats.companion_stage == "finite"
+    # exploration counters accumulate across the two subtractions ...
+    assert round_stats.explored_states == 15
+    assert round_stats.subsumption_hits == 3
+    assert round_stats.cache_hits == 4
+    assert round_stats.cache_misses == 5
+    assert round_stats.peak_pending_edges == 9
+    # ... while difference_states reflects the final (companion) result
+    assert round_stats.difference_states == 1
