@@ -14,8 +14,10 @@ the harness runs in minutes on a laptop while keeping the paper's
                             default 0 keeps the historical in-process path
 
 Benches that track the perf trajectory call :func:`write_bench_json`,
-which stamps the run configuration and environment next to the
-measurements so ``BENCH_*.json`` files are comparable across commits.
+which stamps the run configuration and environment -- including the
+git commit, hostname, and a schema version -- next to the measurements
+so ``BENCH_*.json`` files are alignable across commits by
+``python -m repro trajectory``.
 """
 
 from __future__ import annotations
@@ -30,11 +32,25 @@ import pytest
 
 from repro.benchgen import program_suite, sdba_corpus
 from repro.core.config import AnalysisConfig
+from repro.runner.store import code_version
 
 TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "5"))
 N_RANDOM = int(os.environ.get("REPRO_BENCH_RANDOM", "30"))
 BENCH_OUT = Path(os.environ.get("REPRO_BENCH_OUT", "."))
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0"))
+
+#: The BENCH_*.json envelope version (see repro.obs.trajectory, which
+#: reads these files back; bump together).
+SCHEMA_VERSION = 2
+
+
+def _git_commit() -> str:
+    """The commit to stamp into records: ``REPRO_CODE_VERSION`` (CI) or
+    the checkout's HEAD; degrades to the package version outside git."""
+    try:
+        return code_version()
+    except Exception:  # pragma: no cover - stamp must never sink a bench
+        return "unknown"
 
 
 def write_bench_json(name: str, payload: dict) -> Path:
@@ -43,6 +59,9 @@ def write_bench_json(name: str, payload: dict) -> Path:
         "bench": name,
         "unix_time": time.time(),
         "python": platform.python_version(),
+        "git_commit": _git_commit(),
+        "host": platform.node() or "unknown",
+        "schema_version": SCHEMA_VERSION,
         "config": {"timeout": TIMEOUT, "n_random": N_RANDOM},
     }
     record.update(payload)

@@ -20,12 +20,17 @@ The evaluation runner (see DESIGN.md, "Evaluation runner")::
     python -m repro race examples/sort.t --timeout 30
     python -m repro report results.jsonl
 
-Observability (see DESIGN.md, "Observability")::
+Observability (see DESIGN.md, "Observability" and "Fleet telemetry &
+perf trajectory")::
 
     python -m repro --trace trace.jsonl examples.t   # JSONL span trace
     python -m repro.obs.report trace.jsonl           # per-phase breakdown
     python -m repro --profile examples.t             # breakdown inline
     python -m repro --stats-json stats.json examples.t
+    python -m repro bench ... --trace-dir traces/    # per-job traces +
+                                                     # fleet events.jsonl
+    python -m repro trajectory benchmarks/baselines bench-out
+                                                     # perf regressions?
 
 Every subcommand shares one deterministic exit-code scheme so CI and
 scripts can branch on the outcome without scraping output:
@@ -41,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.config import AnalysisConfig, StageSequence
@@ -85,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a JSONL span trace of the run "
                              "(render with python -m repro.obs.report)")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="like --trace, but the file lands in DIR as "
+                             "trace_<program>.jsonl -- the same layout "
+                             "`bench --trace-dir` uses for its workers")
     parser.add_argument("--stats-json", metavar="FILE", default=None,
                         help="write the run's AnalysisStats (rounds, "
                              "metrics) as JSON")
@@ -99,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: Subcommands of ``python -m repro``; anything else is a program file
 #: for the (default) single-run analysis.
-_SUBCOMMANDS = ("run", "bench", "race", "report")
+_SUBCOMMANDS = ("run", "bench", "race", "report", "trajectory")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,12 +125,20 @@ def main(argv: list[str] | None = None) -> int:
         if command == "report":
             from repro.runner.report import main as report_main
             return report_main(rest)
+        if command == "trajectory":
+            from repro.obs.trajectory import main as trajectory_main
+            return trajectory_main(rest)
         argv = rest  # "run" is the explicit name of the default mode
     return run_single(argv)
 
 
 def run_single(argv: list[str]) -> int:
     args = build_parser().parse_args(argv)
+    if args.trace_dir and not args.trace:
+        stem = "stdin" if args.file == "-" else \
+            os.path.splitext(os.path.basename(args.file))[0]
+        os.makedirs(args.trace_dir, exist_ok=True)
+        args.trace = os.path.join(args.trace_dir, f"trace_{stem}.jsonl")
     source = (sys.stdin.read() if args.file == "-"
               else open(args.file, encoding="utf-8").read())
     try:

@@ -46,6 +46,9 @@ class TraceReport:
     wall: float = 0.0
     spans: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
+    #: Spans the tracer closed as ``truncated`` (still open when the
+    #: run ended) -- their durations are lower bounds, not self-times.
+    truncated: int = 0
 
     @property
     def accounted(self) -> float:
@@ -55,18 +58,21 @@ class TraceReport:
         return sum(p.self_seconds for p in self.phases.values()) / self.wall
 
     def hottest(self, k: int = 5) -> list[dict]:
-        return sorted(self.spans, key=lambda s: s["dur"], reverse=True)[:k]
+        return sorted(self.spans, key=lambda s: s.get("dur", 0.0),
+                      reverse=True)[:k]
 
     def to_dict(self, top: int = 5) -> dict:
         return {
             "wall_seconds": self.wall,
             "accounted": self.accounted,
+            "truncated_spans": self.truncated,
             "phases": {
                 name: {"calls": p.calls, "cumulative_seconds": p.cumulative,
                        "self_seconds": p.self_seconds, "max_seconds": p.max_dur}
                 for name, p in sorted(self.phases.items(),
                                       key=lambda kv: -kv[1].self_seconds)},
-            "hottest": [{"name": s["name"], "dur": s["dur"], "t0": s["t0"],
+            "hottest": [{"name": s["name"], "dur": s.get("dur", 0.0),
+                         "t0": s.get("t0", 0.0),
                          "attrs": s.get("attrs", {})}
                         for s in self.hottest(top)],
             "metrics": self.metrics,
@@ -74,19 +80,42 @@ class TraceReport:
 
 
 def load_records(path: str) -> list[dict]:
+    """Read a JSONL trace, skipping torn or garbage lines.
+
+    A SIGKILLed worker leaves at most one half-written trailing line
+    (the tracer flushes per record); a tear can land inside a
+    multi-byte UTF-8 sequence, so lines are decoded individually --
+    a partial trace must still render, not crash the report.
+    """
     records = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    with open(path, "rb") as fh:
+        for raw in fh:
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                continue
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
     return records
 
 
 def aggregate(records: list[dict]) -> TraceReport:
-    """Fold span records into per-phase aggregates."""
+    """Fold span records into per-phase aggregates.
+
+    Tolerates partial traces: spans missing fields are defaulted (a
+    missing duration counts as zero), and ``truncated`` spans -- open
+    when the run died -- are aggregated with their observed lower-bound
+    durations and counted separately.
+    """
     report = TraceReport()
-    spans = [r for r in records if r.get("type") == "span"]
+    spans = [r for r in records
+             if r.get("type") == "span" and r.get("name") is not None]
     report.spans = spans
     for record in records:
         if record.get("type") == "metrics":
@@ -95,18 +124,23 @@ def aggregate(records: list[dict]) -> TraceReport:
     for span in spans:
         parent = span.get("parent")
         if parent is not None:
-            child_time[parent] = child_time.get(parent, 0.0) + span["dur"]
+            child_time[parent] = (child_time.get(parent, 0.0)
+                                  + span.get("dur", 0.0))
     t_min, t_max = float("inf"), float("-inf")
     for span in spans:
+        if span.get("truncated"):
+            report.truncated += 1
         agg = report.phases.get(span["name"])
         if agg is None:
             agg = report.phases[span["name"]] = PhaseAgg(span["name"])
+        dur = float(span.get("dur", 0.0))
+        t0 = float(span.get("t0", 0.0))
         agg.calls += 1
-        agg.cumulative += span["dur"]
-        agg.self_seconds += span["dur"] - child_time.get(span["id"], 0.0)
-        agg.max_dur = max(agg.max_dur, span["dur"])
-        t_min = min(t_min, span["t0"])
-        t_max = max(t_max, span["t0"] + span["dur"])
+        agg.cumulative += dur
+        agg.self_seconds += dur - child_time.get(span.get("id"), 0.0)
+        agg.max_dur = max(agg.max_dur, dur)
+        t_min = min(t_min, t0)
+        t_max = max(t_max, t0 + dur)
     report.wall = max(0.0, t_max - t_min) if spans else 0.0
     return report
 
@@ -126,13 +160,19 @@ def render(report: TraceReport, top: int = 5) -> str:
                      f"{avg_ms:>9.2f} {1000.0 * p.max_dur:>9.2f}")
     lines.append(f"accounted: {100.0 * report.accounted:.1f}% of "
                  f"{wall:.4f}s wall-clock")
+    if report.truncated:
+        lines.append(f"truncated: {report.truncated} span(s) still open "
+                     f"when the run ended (durations are lower bounds)")
     hottest = report.hottest(top)
     if hottest:
         lines.append(f"\nhottest spans (top {len(hottest)}):")
         for s in hottest:
             attrs = s.get("attrs") or {}
             detail = " ".join(f"{k}={v}" for k, v in attrs.items())
-            lines.append(f"  {1000.0 * s['dur']:>9.2f}ms  {s['name']:<18} {detail}")
+            if s.get("truncated"):
+                detail = (detail + " " if detail else "") + "(truncated)"
+            lines.append(f"  {1000.0 * s.get('dur', 0.0):>9.2f}ms  "
+                         f"{s['name']:<18} {detail}")
     counters = report.metrics.get("counters") if report.metrics else None
     if counters:
         lines.append("\nmetrics (counters):")
@@ -155,10 +195,13 @@ def main(argv: list[str] | None = None) -> int:
     if not report.spans:
         print("no span records in trace", file=sys.stderr)
         return 1
-    if args.json:
-        print(json.dumps(report.to_dict(args.top), indent=2))
-    else:
-        print(render(report, args.top))
+    try:
+        if args.json:
+            print(json.dumps(report.to_dict(args.top), indent=2))
+        else:
+            print(render(report, args.top))
+    except BrokenPipeError:  # `... | head` is fine
+        sys.stderr.close()
     return 0
 
 

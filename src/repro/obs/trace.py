@@ -105,7 +105,12 @@ class Tracer:
 
     Records are always kept in :attr:`records` (so ``--profile`` needs
     no file); with ``path`` given, each record is additionally written
-    as it is produced, so a crashed run still leaves a usable trace.
+    *and flushed* as it is produced, so a worker SIGKILLed mid-analysis
+    still leaves every closed span on disk.  Spans that are open when
+    the tracer closes (an exception unwound past them, or a cooperative
+    shutdown mid-phase) are emitted with ``"truncated": true`` and the
+    duration observed so far -- a trace is never silently missing the
+    phase it died in.
     """
 
     enabled = True
@@ -156,6 +161,9 @@ class Tracer:
         self.records.append(record)
         if self._file is not None:
             self._file.write(json.dumps(record, default=str) + "\n")
+            # Flush per record: a SIGKILLed worker loses at most the
+            # record being written, never the whole trace.
+            self._file.flush()
 
     def attach_metrics(self, registry) -> None:
         """Snapshot ``registry`` into the trace when the tracer closes."""
@@ -166,7 +174,19 @@ class Tracer:
         self._emit({"type": "metrics", "data": data})
 
     def close(self) -> None:
-        """Flush the metrics snapshot (if attached) and close the file."""
+        """Emit still-open spans as truncated, flush metrics, close.
+
+        Innermost spans are emitted first, preserving the usual
+        children-before-parents file order.
+        """
+        now = time.perf_counter() - self._epoch
+        while self._stack:
+            span = self._stack.pop()
+            self._emit({"type": "span", "id": span.id,
+                        "parent": span.parent, "name": span.name,
+                        "t0": round(span.t0, 9),
+                        "dur": round(now - span.t0, 9),
+                        "attrs": span.attrs, "truncated": True})
         if self._metrics is not None:
             self._emit({"type": "metrics", "data": self._metrics.snapshot()})
             self._metrics = None

@@ -26,11 +26,22 @@ import sys
 
 from repro.core.api import DEFAULT_PORTFOLIO
 from repro.core.config import AnalysisConfig
+from repro.obs.telemetry import FleetMonitor, Telemetry
 from repro.program.parser import ParseError, parse_program
 from repro.runner import report as runner_report
 from repro.runner.corpus import load_manifest, run_corpus, suite_manifest
 from repro.runner.pool import WorkerPool, analysis_task
 from repro.runner.race import race_portfolio
+
+
+def _events_path(args) -> str | None:
+    """Where the run's ``events.jsonl`` goes: ``--events`` wins, else
+    ``--trace-dir`` implies ``<trace-dir>/events.jsonl``."""
+    if getattr(args, "events", None):
+        return args.events
+    if getattr(args, "trace_dir", None):
+        return os.path.join(args.trace_dir, "events.jsonl")
+    return None
 
 
 def bench_main(argv: list[str] | None = None) -> int:
@@ -71,8 +82,19 @@ def bench_main(argv: list[str] | None = None) -> int:
                              "file containing it) injected into every "
                              "config of the run -- chaos testing; see "
                              "DESIGN.md 'Robustness'")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="per-job JSONL traces: every worker writes "
+                             "trace_<job key>.jsonl here (render with "
+                             "python -m repro.obs.report) and the fleet "
+                             "event log goes to DIR/events.jsonl")
+    parser.add_argument("--events", metavar="FILE", default=None,
+                        help="write the fleet telemetry event log "
+                             "(heartbeats + job lifecycle) as JSONL")
+    parser.add_argument("--heartbeat-interval", type=float, default=2.0,
+                        help="seconds between per-job heartbeats "
+                             "(default 2.0)")
     parser.add_argument("--quiet", action="store_true",
-                        help="no per-row progress lines")
+                        help="no per-row progress / live status lines")
     args = parser.parse_args(argv)
 
     if args.manifest is not None:
@@ -93,25 +115,36 @@ def bench_main(argv: list[str] | None = None) -> int:
         manifest["configs"] = [dict(entry, fault_plan=text)
                                for entry in entries]
 
+    # The fleet monitor drives both output shapes (suppressed by
+    # --quiet): per-row progress lines with the running done/total +
+    # error/timeout tally on stdout, and heartbeat-driven "slowest
+    # running jobs" status lines on stderr.  The telemetry channel
+    # feeding it also writes events.jsonl when a sink path is given.
+    monitor = FleetMonitor(
+        row_stream=None if args.quiet else sys.stdout,
+        status_stream=None if args.quiet else sys.stderr)
+    telemetry = Telemetry(_events_path(args), on_event=monitor.observe)
+
     def on_row(row: dict) -> None:
-        if not args.quiet:
-            print(f"  {row.get('program', '?'):<24} "
-                  f"[{row.get('config', '?')}] "
-                  f"{row.get('status', '?'):<14} "
-                  f"{float(row.get('seconds') or 0.0):7.2f}s",
-                  flush=True)
+        monitor.row(row)
 
     pool = WorkerPool(workers=args.workers, task=analysis_task,
                       task_timeout=args.task_timeout
                       if args.task_timeout is not None
                       else manifest.get("task_timeout"),
-                      inprocess=True if args.inprocess else None)
-    summary = run_corpus(manifest, args.store,
-                         task_timeout=args.task_timeout,
-                         resume=not args.no_resume,
-                         retry_errors=args.retry_errors,
-                         pool=pool, on_row=on_row,
-                         fail_fast=args.fail_fast)
+                      inprocess=True if args.inprocess else None,
+                      telemetry=telemetry,
+                      heartbeat_interval=args.heartbeat_interval)
+    try:
+        summary = run_corpus(manifest, args.store,
+                             task_timeout=args.task_timeout,
+                             resume=not args.no_resume,
+                             retry_errors=args.retry_errors,
+                             pool=pool, on_row=on_row,
+                             fail_fast=args.fail_fast,
+                             trace_dir=args.trace_dir)
+    finally:
+        telemetry.close()
 
     mode = "in-process" if pool.inprocess else f"{pool.workers} workers"
     print(f"\n{summary.manifest}: {summary.total} jobs "
@@ -159,6 +192,12 @@ def race_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--inprocess", action="store_true",
                         help="run attempts sequentially in-process "
                              "(degraded mode, still first-verdict-wins)")
+    parser.add_argument("--events", metavar="FILE", default=None,
+                        help="write the fleet telemetry event log "
+                             "(heartbeats + attempt lifecycle) as JSONL")
+    parser.add_argument("--heartbeat-interval", type=float, default=2.0,
+                        help="seconds between per-attempt heartbeats "
+                             "(default 2.0)")
     parser.add_argument("--json", action="store_true",
                         help="print one JSON object instead of text")
     args = parser.parse_args(argv)
@@ -177,12 +216,23 @@ def race_main(argv: list[str] | None = None) -> int:
                         for n in names)
     else:
         configs = DEFAULT_PORTFOLIO
+    # Live attempt status on stderr (never under --json, whose stdout
+    # contract stays byte-stable); events.jsonl when --events is given.
+    monitor = FleetMonitor(
+        status_stream=None if args.json else sys.stderr,
+        status_interval=args.heartbeat_interval)
+    telemetry = Telemetry(args.events, on_event=monitor.observe)
     pool = None
     if args.inprocess:
         pool = WorkerPool(workers=1, task=analysis_task,
-                          task_timeout=args.timeout, inprocess=True)
-    result = race_portfolio(program, configs, timeout=args.timeout,
-                            workers=args.workers, pool=pool)
+                          task_timeout=args.timeout, inprocess=True,
+                          telemetry=telemetry)
+    try:
+        result = race_portfolio(program, configs, timeout=args.timeout,
+                                workers=args.workers, pool=pool,
+                                telemetry=telemetry)
+    finally:
+        telemetry.close()
 
     if args.json:
         print(json.dumps({

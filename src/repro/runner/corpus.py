@@ -221,6 +221,7 @@ def run_corpus(manifest: dict,
                pool: WorkerPool | None = None,
                on_row: Callable[[dict], None] | None = None,
                fail_fast: bool = False,
+               trace_dir: str | Path | None = None,
                ) -> CorpusRun:
     """Evaluate a manifest, streaming rows into the JSONL store.
 
@@ -230,8 +231,10 @@ def run_corpus(manifest: dict,
     ``error`` (fresh code often fixes a crash).  With ``fail_fast``,
     the first ``error`` row cancels everything still queued or running
     (finished rows stay in the store, so a fixed run resumes from
-    them).  Returns the run summary; ``summary.rows`` holds **all**
-    rows of the matrix, reused and new alike, for reporting.
+    them).  With ``trace_dir``, every worker runs under its own JSONL
+    tracer and leaves ``trace_<job key>.jsonl`` there.  Returns the
+    run summary; ``summary.rows`` holds **all** rows of the matrix,
+    reused and new alike, for reporting.
     """
     start = time.perf_counter()
     jobs = expand_manifest(manifest, task_timeout=task_timeout)
@@ -246,6 +249,11 @@ def run_corpus(manifest: dict,
                               task_timeout=task_timeout
                               if task_timeout is not None
                               else manifest.get("task_timeout"))
+        if pool.telemetry is not None:
+            pool.telemetry.emit("plan", manifest=manifest.get("name"),
+                                total=len(jobs),
+                                skipped=len(jobs) - len(todo),
+                                to_run=len(todo))
         rows_by_key = {job.key: done[job.key] for job in jobs
                        if job.key in done}
 
@@ -259,7 +267,11 @@ def run_corpus(manifest: dict,
                 return False  # cancel the rest of the matrix
             return None
 
-        pool.run([job.payload() for job in todo], on_outcome=on_outcome)
+        payloads = [job.payload() for job in todo]
+        if trace_dir is not None:
+            for payload in payloads:
+                payload["trace_dir"] = str(trace_dir)
+        pool.run(payloads, on_outcome=on_outcome)
 
     rows = [rows_by_key[job.key] for job in jobs if job.key in rows_by_key]
     by_status: dict[str, int] = {}

@@ -25,6 +25,15 @@ returns (pickled by the pipe).  The pool is deliberately generic --
 ``task`` is any importable callable ``payload -> dict`` -- so the
 harness's own failure paths are testable with the fault-injection
 tasks of :mod:`repro.runner._testing`.
+
+With a :class:`~repro.obs.telemetry.Telemetry` channel attached the
+pool stops being a black box while it runs: the scheduler emits
+lifecycle events (``spawned``/``started``/``finished``/``killed``/
+``retried``) as jobs move through it, and samples a heartbeat (pid,
+elapsed, rss) for every running job each ``heartbeat_interval``
+seconds -- including for wedged workers that will only ever be heard
+from again as a SIGKILL.  A worker announces ``started`` itself as its
+first message on the result pipe, so spawn latency is visible too.
 """
 
 from __future__ import annotations
@@ -81,6 +90,11 @@ def analysis_task(payload: dict) -> dict:
     ``config_name``).  Returns a JSON-ready result row; with
     ``want_result`` set, a pickled :class:`TerminationResult` rides
     along under ``result_pickle`` (stripped before any JSON sink).
+
+    With ``trace_dir`` set, the analysis runs under its own JSONL
+    tracer writing ``trace_<job id>.jsonl`` into that directory
+    (``repro.obs.report`` renders it) -- the tracer flushes per record,
+    so even a worker SIGKILLed mid-analysis leaves its closed spans.
     """
     t0 = time.perf_counter()
     name = payload.get("name", "<anonymous>")
@@ -90,6 +104,13 @@ def analysis_task(payload: dict) -> dict:
                 "family": payload.get("family"),
                 "expected": payload.get("expected")}
 
+    tracer = None
+    trace_dir = payload.get("trace_dir")
+    if trace_dir:
+        from repro.obs.trace import Tracer
+        os.makedirs(trace_dir, exist_ok=True)
+        job_id = str(payload.get("key") or name).replace(os.sep, "_")
+        tracer = Tracer(os.path.join(trace_dir, f"trace_{job_id}.jsonl"))
     try:
         config = AnalysisConfig.from_dict(payload.get("config") or {})
         budget = payload.get("timeout")
@@ -101,13 +122,22 @@ def analysis_task(payload: dict) -> dict:
         if program is None:
             program = parse_program(payload["source"])
         _maybe_fault_worker(config, same_process=bool(payload.get("_same_process")))
-        result = prove_termination(program, config)
+        if tracer is not None:
+            from repro.obs.trace import use_tracer
+            with use_tracer(tracer):
+                result = prove_termination(program, config)
+            tracer.record_metrics(result.stats.metrics)
+        else:
+            result = prove_termination(program, config)
     except ParseError as err:
         row = base_row()
         row.update(config=payload.get("config_name", ""), status="error",
                    error=f"parse error: {err}",
                    seconds=time.perf_counter() - t0)
         return row
+    finally:
+        if tracer is not None:
+            tracer.close()
 
     stats = result.stats
     status = result.verdict.value
@@ -158,8 +188,12 @@ def _maybe_fault_worker(config: AnalysisConfig, *, same_process: bool) -> None:
 
 
 def _worker_main(task: Callable[[dict], dict], payload: dict, conn) -> None:
-    """Subprocess body: run the task, ship the result, exit."""
+    """Subprocess body: announce start, run the task, ship the result."""
     try:
+        try:
+            conn.send(("started", os.getpid()))
+        except Exception:
+            pass  # telemetry is best-effort; the result still matters
         result = task(payload)
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - isolate *everything*
@@ -199,6 +233,10 @@ class WorkerPool:
     deadline).  ``on_outcome`` (passed to :meth:`run`) observes every
     outcome as it lands and may return ``False`` to cancel everything
     still queued or running -- the racing primitive.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`, optional)
+    receives lifecycle events and periodic per-job heartbeats every
+    ``heartbeat_interval`` seconds; without it the pool emits nothing.
     """
 
     def __init__(self, workers: int | None = None,
@@ -207,13 +245,17 @@ class WorkerPool:
                  kill_grace: float = 1.0,
                  max_retries: int = 1,
                  start_method: str | None = None,
-                 inprocess: bool | None = None):
+                 inprocess: bool | None = None,
+                 telemetry=None,
+                 heartbeat_interval: float = 2.0):
         self.workers = max(1, workers if workers is not None
                            else min(os.cpu_count() or 1, 8))
         self.task = task
         self.task_timeout = task_timeout
         self.kill_grace = kill_grace
         self.max_retries = max_retries
+        self.telemetry = telemetry
+        self.heartbeat_interval = heartbeat_interval
         if inprocess is None:
             inprocess = (os.environ.get("REPRO_RUNNER_INPROCESS") == "1"
                          or _mp is None)
@@ -250,6 +292,20 @@ class WorkerPool:
         timeout = payload.get("timeout", self.task_timeout)
         return timeout
 
+    # -- telemetry --------------------------------------------------------------
+
+    @staticmethod
+    def _job_id(payload: dict) -> str | None:
+        return payload.get("key") or payload.get("name")
+
+    def _tel(self, type_: str, payload: dict, **fields) -> None:
+        """Emit one lifecycle event for a job, if a channel is attached."""
+        if self.telemetry is None:
+            return
+        self.telemetry.emit(type_, job=self._job_id(payload),
+                            name=payload.get("name"),
+                            config=payload.get("config_name"), **fields)
+
     # -- in-process degradation -------------------------------------------------
 
     def _run_inprocess(self, payloads, on_outcome) -> list[TaskOutcome]:
@@ -263,6 +319,7 @@ class WorkerPool:
             start = time.perf_counter()
             payload = dict(self._with_budget(payload))
             payload["_same_process"] = True
+            self._tel("started", payload, pid=os.getpid())
             try:
                 result = self.task(payload)
                 outcome = TaskOutcome(payload, index, "ok", result=result,
@@ -272,6 +329,8 @@ class WorkerPool:
                     payload, index, "error",
                     error=f"{type(exc).__name__}: {exc}",
                     seconds=time.perf_counter() - start)
+            self._tel("finished", payload, status=outcome.status,
+                      elapsed=round(outcome.seconds, 3))
             outcomes.append(outcome)
             if on_outcome is not None and on_outcome(outcome) is False:
                 stopped = True
@@ -291,6 +350,8 @@ class WorkerPool:
             (i, self._with_budget(p), 1) for i, p in enumerate(payloads))
         running: dict[object, _Running] = {}
         stopped = False
+        next_beat = (time.perf_counter() + self.heartbeat_interval
+                     if self.telemetry is not None else None)
 
         def deliver(outcome: TaskOutcome) -> None:
             nonlocal stopped
@@ -310,6 +371,18 @@ class WorkerPool:
             deadline = now + budget + self.kill_grace if budget is not None else None
             running[parent] = _Running(index, payload, execution, proc,
                                        parent, now, deadline)
+            self._tel("spawned", payload, pid=proc.pid, execution=execution)
+
+        def beat(now: float) -> None:
+            """Sample one heartbeat per running job (parent-side)."""
+            nonlocal next_beat
+            if next_beat is None or now < next_beat:
+                return
+            next_beat = now + self.heartbeat_interval
+            for job in running.values():
+                self.telemetry.heartbeat_job(
+                    self._job_id(job.payload), job.payload.get("name"),
+                    job.proc.pid, elapsed=now - job.started)
 
         def reap(job: _Running) -> None:
             job.proc.join(timeout=5.0)
@@ -334,34 +407,52 @@ class WorkerPool:
             deadlines = [j.deadline - now for j in running.values()
                          if j.deadline is not None]
             wait_for = max(0.001, min(deadlines)) if deadlines else 0.2
+            if next_beat is not None:
+                wait_for = max(0.001, min(wait_for, next_beat - now))
             ready = _mp_connection.wait(list(running), timeout=wait_for)
             now = time.perf_counter()
+            beat(now)
 
             for conn in ready:
-                job = running.pop(conn)
+                job = running[conn]
                 message = None
                 try:
                     message = conn.recv()
                 except (EOFError, OSError):
                     message = None  # died without a result
+                if message is not None and message[0] == "started":
+                    # The worker's hello: it is executing the task now.
+                    self._tel("started", job.payload, pid=message[1],
+                              execution=job.execution)
+                    continue  # the job is still running
+                running.pop(conn)
                 reap(job)
                 elapsed = now - job.started
                 if message is None:
                     exitcode = job.proc.exitcode
                     if job.execution <= self.max_retries:
+                        self._tel("retried", job.payload,
+                                  execution=job.execution, exitcode=exitcode)
                         queue.append((job.index, job.payload,
                                       job.execution + 1))
                     else:
+                        self._tel("finished", job.payload, status="error",
+                                  elapsed=round(elapsed, 3),
+                                  exitcode=exitcode)
                         deliver(TaskOutcome(
                             job.payload, job.index, "error",
                             error=f"worker died (exit code {exitcode})",
                             seconds=elapsed, executions=job.execution))
                 elif message[0] == "ok":
+                    self._tel("finished", job.payload, status="ok",
+                              elapsed=round(elapsed, 3))
                     deliver(TaskOutcome(job.payload, job.index, "ok",
                                         result=message[1], seconds=elapsed,
                                         executions=job.execution))
                 else:
                     _, summary, tb = message
+                    self._tel("finished", job.payload, status="error",
+                              elapsed=round(elapsed, 3))
                     deliver(TaskOutcome(job.payload, job.index, "error",
                                         error=summary + "\n" + tb,
                                         seconds=elapsed,
@@ -372,6 +463,9 @@ class WorkerPool:
                     running.pop(conn)
                     job.proc.kill()
                     reap(job)
+                    self._tel("killed", job.payload, reason="deadline",
+                              pid=job.proc.pid,
+                              elapsed=round(now - job.started, 3))
                     deliver(TaskOutcome(job.payload, job.index, "timeout",
                                         error="hard deadline exceeded "
                                               "(worker SIGKILLed)",
@@ -384,6 +478,8 @@ class WorkerPool:
         for conn, job in running.items():
             job.proc.kill()
             reap(job)
+            self._tel("killed", job.payload, reason="cancelled",
+                      pid=job.proc.pid)
             outcomes[job.index] = TaskOutcome(
                 job.payload, job.index, "cancelled",
                 seconds=time.perf_counter() - job.started,

@@ -97,6 +97,7 @@ def race_portfolio(program,
                    workers: int | None = None,
                    pool: WorkerPool | None = None,
                    names: Sequence[str] | None = None,
+                   telemetry=None,
                    ) -> TerminationResult:
     """Race ``configs`` on ``program``; the portfolio's parallel mode.
 
@@ -115,17 +116,23 @@ def race_portfolio(program,
     execution with early cancellation -- same first-conclusive-verdict
     semantics, no fork/pickle overhead, no CPU contention (callers
     needing subprocess isolation anyway can pass their own ``pool``).
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) attaches a
+    fleet event channel to the pool the racer builds -- which attempt
+    is running, which was cancelled, heartbeats while they race.
     """
     configs = list(configs)
     if not configs:
         raise ValueError("the portfolio needs at least one configuration")
     payloads = []
     for i, config in enumerate(configs):
+        config_name = names[i] if names is not None else config.describe()
         payload = {
+            # every attempt is its own telemetry job, keyed by config
+            "key": f"{getattr(program, 'name', '<race>')}#{i}:{config_name}",
             "name": getattr(program, "name", "<race>"),
             "config": config.to_dict(),
-            "config_name": (names[i] if names is not None
-                            else config.describe()),
+            "config_name": config_name,
             "timeout": timeout,
             "want_result": True,
         }
@@ -139,7 +146,8 @@ def race_portfolio(program,
                      else min(len(payloads), os.cpu_count() or 1))
         pool = WorkerPool(workers=max(n_workers, 1), task=analysis_task,
                           task_timeout=timeout,
-                          inprocess=True if n_workers <= 1 else None)
+                          inprocess=True if n_workers <= 1 else None,
+                          telemetry=telemetry)
     winner, outcomes = run_race(payloads, pool, _conclusive)
 
     chosen = winner

@@ -333,3 +333,76 @@ def test_cli_stats_json_without_trace(tmp_path, capsys):
     assert payload["verdict"] == "terminating"
     assert payload["rounds"]
     assert all(r["seconds"] > 0 for r in payload["rounds"])
+
+
+# -- durability: flush-per-record, truncated spans ----------------------------
+
+
+def test_trace_file_is_readable_before_close(tmp_path):
+    # flush-per-record: a SIGKILL at any point loses at most the record
+    # being written, so the file must be complete up to the last close
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(str(path))
+    with tracer.span("done"):
+        pass
+    records = load_records(str(path))   # tracer still open
+    assert [r["name"] for r in records] == ["done"]
+    tracer.close()
+
+
+def test_close_emits_open_spans_as_truncated(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(str(path))
+    outer = tracer.span("analysis", program="p")
+    outer.__enter__()
+    inner = tracer.span("difference")
+    inner.__enter__()
+    time.sleep(0.002)
+    tracer.close()                      # both spans still open
+    records = load_records(str(path))
+    spans = {r["name"]: r for r in records}
+    assert spans["difference"]["truncated"] is True
+    assert spans["analysis"]["truncated"] is True
+    # innermost first: children still precede parents in the file
+    names = [r["name"] for r in records]
+    assert names.index("difference") < names.index("analysis")
+    # observed-so-far durations, parent linkage and attrs survive
+    assert spans["difference"]["parent"] == spans["analysis"]["id"]
+    assert spans["analysis"]["attrs"] == {"program": "p"}
+    assert spans["difference"]["dur"] > 0
+
+    report = aggregate(records)
+    assert report.truncated == 2
+    rendered = render(report)
+    assert "truncated: 2 span(s)" in rendered
+    assert "(truncated)" in rendered
+
+
+def test_load_records_skips_torn_and_garbage_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(str(path)) as tracer:
+        with tracer.span("whole"):
+            pass
+    with open(path, "ab") as fh:
+        fh.write(b"not json at all\n")
+        fh.write(b'["a", "list"]\n')                 # non-dict JSON
+        fh.write(b'{"type": "span", "name": "caf\xc3')  # torn mid-UTF-8
+    records = load_records(str(path))
+    assert [r.get("name") for r in records] == ["whole"]
+
+
+def test_aggregate_tolerates_partial_span_records():
+    # a truncated trace can carry spans missing dur/t0/id; the report
+    # must default them instead of crashing
+    records = [
+        {"type": "span", "id": 0, "parent": None, "name": "a",
+         "t0": 0.0, "dur": 0.5, "attrs": {}},
+        {"type": "span", "name": "b", "attrs": {}, "truncated": True},
+        {"type": "span", "id": 2, "name": None},     # nameless: dropped
+    ]
+    report = aggregate(records)
+    assert set(report.phases) == {"a", "b"}
+    assert report.truncated == 1
+    assert report.phases["b"].cumulative == 0.0
+    assert report.hottest(1)[0]["name"] == "a"
+    render(report)                                   # renders cleanly

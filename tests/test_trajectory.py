@@ -1,0 +1,231 @@
+"""Perf trajectory: ingestion, alignment, gating, exit codes.
+
+Histories are synthesized as BENCH_*.json directories (the same
+envelope ``benchmarks/conftest.write_bench_json`` stamps) so the
+regression gate is exercised end to end: an injected slowdown must
+exit 3, a clean history 0, a single run 2.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.trajectory import (KIND_BADNESS, KIND_EFFORT, KIND_SOLVED,
+                                  KIND_TIME, classify, collect_runs,
+                                  compare_runs, flatten_metrics,
+                                  load_bench_file, main)
+
+
+def bench_payload(name, *, seconds, solved=10, errors=0, states=1000,
+                  commit="c0", t=1000.0):
+    return {
+        "bench": name,
+        "unix_time": t,
+        "python": "3.12.0",
+        "git_commit": commit,
+        "host": "testhost",
+        "schema_version": 2,
+        "config": {"timeout": 3.0, "n_random": 5},
+        "total_seconds": seconds,
+        "solved": solved,
+        "errors": errors,
+        "effort": {"explored_states": states},
+    }
+
+
+def write_run(root, label, *, factor=1.0, solved=10, errors=0,
+              commit="c0", t=1000.0):
+    """A run directory with two benches; ``factor`` scales the timings."""
+    run = root / label
+    run.mkdir(parents=True, exist_ok=True)
+    for name, base_s in (("cache", 2.0), ("reduction", 4.0)):
+        payload = bench_payload(name, seconds=base_s * factor,
+                                solved=solved, errors=errors,
+                                commit=commit, t=t)
+        (run / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2), encoding="utf-8")
+    return run
+
+
+# -- units --------------------------------------------------------------------
+
+
+def test_flatten_metrics_dotted_paths_numbers_only():
+    flat = flatten_metrics({"a": 1, "b": {"c": 2.5, "flag": True,
+                                          "name": "x"},
+                            "xs": [3, {"d": 4}]})
+    assert flat == {"a": 1.0, "b.c": 2.5, "xs[0]": 3.0, "xs[1].d": 4.0}
+
+
+def test_classify_metric_kinds():
+    assert classify("total_seconds") == KIND_TIME
+    assert classify("agg.wall_time") == KIND_TIME
+    assert classify("solved") == KIND_SOLVED
+    assert classify("speedup.median") == KIND_SOLVED
+    assert classify("errors") == KIND_BADNESS
+    assert classify("status.timeout") == KIND_BADNESS
+    assert classify("effort.explored_states") == KIND_EFFORT
+
+
+def test_load_bench_file_splits_envelope_from_metrics(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps(bench_payload("x", seconds=1.5)),
+                    encoding="utf-8")
+    record = load_bench_file(path)
+    assert record.bench == "x"
+    assert record.commit == "c0"
+    assert record.host == "testhost"
+    assert record.metrics["total_seconds"] == 1.5
+    # envelope fields are not metrics; config is identity, not data
+    assert "unix_time" not in record.metrics
+    assert "config.timeout" not in record.metrics
+    # torn files are skipped, not fatal
+    torn = tmp_path / "BENCH_torn.json"
+    torn.write_text('{"bench": "torn", "tot', encoding="utf-8")
+    assert load_bench_file(torn) is None
+
+
+def test_compare_runs_gating_semantics(tmp_path):
+    write_run(tmp_path, "base")
+    write_run(tmp_path, "slow", factor=1.3, errors=2)
+    base, cand = collect_runs([tmp_path / "base", tmp_path / "slow"])
+    comp = compare_runs(base, cand, threshold=0.1, min_seconds=0.05)
+    assert comp.aligned == 2
+    kinds = {(d.metric, d.kind): d for d in comp.deltas
+             if d.bench == "cache"}
+    time_d = kinds[("total_seconds", KIND_TIME)]
+    assert time_d.regression and time_d.rel == pytest.approx(0.3)
+    err_d = kinds[("errors", KIND_BADNESS)]
+    assert err_d.regression and err_d.rel == float("inf")  # 0 -> 2
+    effort_d = kinds[("effort.explored_states", KIND_EFFORT)]
+    assert not effort_d.gated and not effort_d.regression
+
+
+def test_time_noise_floor_suppresses_tiny_absolute_wiggle(tmp_path):
+    # 30% relative but only 0.6ms absolute: below min_seconds, no gate
+    for label, seconds in (("a", 0.002), ("b", 0.0026)):
+        run = tmp_path / label
+        run.mkdir()
+        (run / "BENCH_t.json").write_text(
+            json.dumps(bench_payload("t", seconds=seconds)),
+            encoding="utf-8")
+    base, cand = collect_runs([tmp_path / "a", tmp_path / "b"])
+    comp = compare_runs(base, cand, threshold=0.1, min_seconds=0.05)
+    assert not comp.regressions
+
+
+# -- CLI exit codes -----------------------------------------------------------
+
+
+def test_injected_slowdown_exits_3(tmp_path, capsys):
+    write_run(tmp_path, "base")
+    write_run(tmp_path, "cand", factor=1.25)   # >= 20% slower
+    code = main([str(tmp_path / "base"), str(tmp_path / "cand")])
+    assert code == 3
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "verdict: regression" in out
+
+
+def test_clean_history_exits_0(tmp_path, capsys):
+    write_run(tmp_path, "base")
+    write_run(tmp_path, "cand")                # identical timings
+    code = main([str(tmp_path / "base"), str(tmp_path / "cand")])
+    assert code == 0
+    assert "verdict: ok" in capsys.readouterr().out
+
+
+def test_single_run_exits_2(tmp_path, capsys):
+    write_run(tmp_path, "only")
+    assert main([str(tmp_path / "only")]) == 2
+    assert "at least two runs" in capsys.readouterr().err
+
+
+def test_no_overlap_exits_2(tmp_path, capsys):
+    write_run(tmp_path, "base")
+    other = tmp_path / "other"
+    other.mkdir()
+    (other / "BENCH_different.json").write_text(
+        json.dumps(bench_payload("different", seconds=1.0)),
+        encoding="utf-8")
+    assert main([str(tmp_path / "base"), str(other)]) == 2
+
+
+def test_json_out_artifact_and_baseline_selection(tmp_path, capsys):
+    write_run(tmp_path, "old")
+    write_run(tmp_path, "new", factor=1.5)
+    artifact = tmp_path / "trajectory.json"
+    code = main([str(tmp_path / "new"), str(tmp_path / "old"),
+                 "--baseline", "old", "--json",
+                 "--json-out", str(artifact)])
+    assert code == 3
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == json.loads(artifact.read_text(encoding="utf-8"))
+    assert payload["verdict"] == "regression"
+    assert payload["comparisons"][0]["baseline"] == "old"
+    regs = payload["comparisons"][0]["regressions"]
+    assert any(r["metric"] == "total_seconds" for r in regs)
+    # infinite rel serializes as null, not a JSON-illegal Infinity
+    json.dumps(payload)
+
+
+def test_gate_effort_flag_gates_counters(tmp_path):
+    write_run(tmp_path, "base", factor=1.0)
+    run = write_run(tmp_path, "cand", factor=1.0)
+    # inflate explored states only
+    for f in run.glob("BENCH_*.json"):
+        payload = json.loads(f.read_text(encoding="utf-8"))
+        payload["effort"]["explored_states"] = 5000
+        f.write_text(json.dumps(payload), encoding="utf-8")
+    paths = [str(tmp_path / "base"), str(tmp_path / "cand")]
+    assert main(paths) == 0
+    assert main(paths + ["--gate-effort"]) == 3
+
+
+# -- commit-aware grouping ----------------------------------------------------
+
+
+def test_single_dir_spanning_commits_splits_into_runs(tmp_path):
+    archive = tmp_path / "archive"
+    archive.mkdir()
+    for commit, t, factor in (("aaa", 100.0, 1.0), ("bbb", 200.0, 2.0)):
+        for name in ("cache",):
+            payload = bench_payload(name, seconds=2.0 * factor,
+                                    commit=commit, t=t)
+            (archive / f"BENCH_{name}_{commit}.json").write_text(
+                json.dumps(payload), encoding="utf-8")
+            # distinct filenames, but the stamped bench name aligns
+    runs = collect_runs([archive])
+    assert [r.label for r in runs] == ["aaa", "bbb"]  # time-ordered
+    code = main([str(archive)])
+    assert code == 3  # 2x slowdown from aaa to bbb
+
+
+def test_store_ingestion_aligns_by_config(tmp_path):
+    from repro.runner.store import job_key
+
+    def write_store(path, seconds):
+        rows = []
+        for i in range(3):
+            program, config = f"p{i}", "default"
+            rows.append({
+                "key": job_key(program, {"name": config}, "v1"),
+                "program": program, "config": config,
+                "status": "terminating", "expected": "terminating",
+                "seconds": seconds, "stats": {"total_seconds": seconds},
+            })
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows),
+                        encoding="utf-8")
+
+    for label, seconds in (("base", 0.5), ("cand", 1.0)):
+        run = tmp_path / label
+        run.mkdir()
+        write_store(run / "results.jsonl", seconds)
+    base, cand = collect_runs([tmp_path / "base", tmp_path / "cand"])
+    assert base.records and base.records[0].bench == "corpus:results"
+    comp = compare_runs(base, cand, threshold=0.2, min_seconds=0.05)
+    assert comp.aligned == 1
+    assert any(d.regression and d.kind == KIND_TIME
+               for d in comp.deltas)
