@@ -79,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--via-semidet", action="store_true",
                         help="complement general modules via "
                              "semi-determinization + NCSB")
+    parser.add_argument("--complement", default="auto",
+                        choices=("auto", "finite-trace", "dba", "ncsb",
+                                 "ncsb-original", "ncsb-lazy", "semidet+ncsb",
+                                 "rank", "rank-based", "modular"),
+                        help="pin one complementation procedure for every "
+                             "module subtraction (default: class-aware "
+                             "dispatch; modules a pinned kind cannot handle "
+                             "fall back to the dispatch)")
+    parser.add_argument("--no-modular", action="store_true",
+                        help="disable modular (per-SCC mix-and-match) "
+                             "complementation of general modules")
     parser.add_argument("--portfolio", action="store_true",
                         help="run the default configuration portfolio "
                              "(multi-stage, then interpolant modules)")
@@ -153,6 +164,8 @@ def run_single(argv: list[str]) -> int:
             return prove_termination_portfolio(program, timeout=args.timeout)
         stages = (StageSequence.SINGLE if args.single_stage
                   else StageSequence.BY_NAME[args.sequence])
+        aliases = {"auto": None, "rank": "rank-based", "ncsb": "ncsb-lazy"}
+        complement_kind = aliases.get(args.complement, args.complement)
         config = AnalysisConfig(stages=stages,
                                 lazy_complement=not args.no_lazy,
                                 subsumption=not args.no_subsumption,
@@ -160,6 +173,8 @@ def run_single(argv: list[str]) -> int:
                                     not args.no_simulation_reduction),
                                 interpolant_modules=args.interpolants,
                                 via_semidet=args.via_semidet,
+                                modular_complement=not args.no_modular,
+                                complement_kind=complement_kind,
                                 timeout=args.timeout,
                                 max_refinements=args.max_refinements)
         return prove_termination(program, config)

@@ -103,6 +103,37 @@ def is_semideterministic(auto: GBA) -> bool:
     return sdba_parts(auto) is not None
 
 
+def is_elevator(auto: GBA) -> bool:
+    """Is every reachable SCC inherently weak or internally deterministic?
+
+    Elevator automata (*Sky Is Not the Limit*, Havlena/Lengal/Smahlikova
+    2021) generalize semideterministic BAs: nondeterminism confined to
+    non-accepting prefix SCCs is harmless, so billing such an automaton
+    as general-``RANK`` is over-pessimistic -- rank-based complementation
+    needs only a constant rank bound (see :func:`elevator_rank_bound`),
+    and the modular dispatch avoids rank tracking for it entirely.
+    """
+    from repro.automata.complement.modular.analyze import SCCClass, condensation
+    if not auto.is_ba():
+        return False
+    return all(comp.scc_class is not SCCClass.GENERAL
+               for comp in condensation(auto).components)
+
+
+def elevator_rank_bound(auto: GBA) -> int:
+    """Tightest known cap on the ranks a rank-based complement needs.
+
+    The minimum of the classical ``2 (n - |F|)`` and the per-SCC bound
+    of the condensation analyzer (constant for elevator automata,
+    ``2 |C \\ F|``-capped per general component otherwise).  Used as the
+    default ``max_rank`` of
+    :class:`~repro.automata.complement.rank_based.RankComplement`.
+    """
+    from repro.automata.complement.modular.analyze import condensation, rank_bound
+    classical = 2 * (len(auto.states) - len(_accepting_states(auto)))
+    return min(rank_bound(condensation(auto)), classical)
+
+
 def is_normalized_sdba(auto: GBA) -> bool:
     """SDBA satisfying both entry requirements of Section 2."""
     parts = sdba_parts(auto)

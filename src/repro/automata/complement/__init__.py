@@ -12,7 +12,10 @@ each:
   5.1) and NCSB-Lazy (Section 5.3) for semideterministic BAs, exposed as
   on-the-fly implicit automata,
 - :mod:`repro.automata.complement.rank_based` -- rank-based complement
-  of general nondeterministic BAs.
+  of general nondeterministic BAs,
+- :mod:`repro.automata.complement.modular` -- per-SCC mix-and-match
+  decomposition: partial complements per accepting-SCC class, combined
+  on the fly in a round-robin product.
 
 :func:`complement` dispatches on the recognized class of the input.
 """
@@ -23,13 +26,18 @@ from repro.automata.complement.ncsb import (MacroState, NCSBLazy,
                                             NCSBOriginal, subsumes,
                                             subsumes_b)
 from repro.automata.complement.rank_based import RankComplement, complement_rank
+from repro.automata.complement.modular import (Condensation, ModularComplement,
+                                               SCCClass, condensation)
 from repro.automata.complement.dispatch import (ComplementKind, classify_kind,
-                                                complement, implicit_complement)
+                                                complement, implicit_complement,
+                                                kind_applies)
 
 __all__ = [
     "complement_finite_trace",
     "complement_dba",
     "MacroState", "NCSBOriginal", "NCSBLazy", "subsumes", "subsumes_b",
     "RankComplement", "complement_rank",
+    "SCCClass", "Condensation", "condensation", "ModularComplement",
     "ComplementKind", "classify_kind", "complement", "implicit_complement",
+    "kind_applies",
 ]

@@ -15,6 +15,7 @@ from repro.automata.classify import (is_deterministic, is_finite_trace,
                                      is_semideterministic)
 from repro.automata.complement.dba import complement_dba
 from repro.automata.complement.finite_trace import complement_finite_trace
+from repro.automata.complement.modular import ModularComplement, condensation
 from repro.automata.complement.ncsb import NCSBLazy, NCSBOriginal, prepare_sdba
 from repro.automata.complement.rank_based import RankComplement
 from repro.automata.gba import GBA, ImplicitGBA, Symbol, materialize
@@ -31,6 +32,28 @@ class ComplementKind(enum.Enum):
     #: alternative to the rank-based construction; see
     #: repro.automata.semidet)
     VIA_SEMIDET = "semidet+ncsb"
+    #: per-SCC mix-and-match decomposition: partial complements per
+    #: accepting-SCC class combined in a round-robin product (see
+    #: repro.automata.complement.modular)
+    MODULAR = "modular"
+
+
+#: Shape guards: which automata a forced ``kind`` can complement.
+#: Kinds absent here (RANK, VIA_SEMIDET, MODULAR) apply to any BA.
+KIND_GUARDS = {
+    ComplementKind.FINITE_TRACE: is_finite_trace,
+    ComplementKind.DBA: is_deterministic,
+    ComplementKind.SDBA_ORIGINAL: is_semideterministic,
+    ComplementKind.SDBA_LAZY: is_semideterministic,
+}
+
+
+def kind_applies(kind: ComplementKind, auto: GBA) -> bool:
+    """Can ``kind`` complement ``auto``?  (Used for best-effort pinning.)"""
+    if not auto.is_ba():
+        return False
+    guard = KIND_GUARDS.get(kind)
+    return guard is None or guard(auto)
 
 
 def classify_kind(auto: GBA) -> ComplementKind:
@@ -49,24 +72,37 @@ def implicit_complement(auto: GBA,
                         *,
                         lazy: bool = True,
                         via_semidet: bool = False,
+                        modular: bool = False,
                         kind: ComplementKind | None = None,
                         ) -> tuple[ImplicitGBA, ComplementKind]:
     """Complement ``auto`` over ``alphabet`` (defaults to its own).
 
     Returns an implicit BA; ``lazy`` selects NCSB-Lazy over
-    NCSB-Original for SDBAs; ``via_semidet`` routes general BAs through
-    semi-determinization + NCSB instead of the rank-based construction;
-    ``kind`` forces a specific procedure (useful for the head-to-head
-    benchmarks).
+    NCSB-Original for SDBAs; ``modular`` lets general BAs with a
+    genuinely mixed SCC condensation go through the per-SCC
+    mix-and-match decomposition (it takes precedence over
+    ``via_semidet``); ``via_semidet`` routes the remaining general BAs
+    through semi-determinization + NCSB instead of the rank-based
+    construction; ``kind`` forces a specific procedure (useful for the
+    head-to-head benchmarks).
     """
     sigma = frozenset(auto.alphabet if alphabet is None else alphabet)
     if kind is None:
         kind = classify_kind(auto)
         if kind is ComplementKind.SDBA_LAZY and not lazy:
             kind = ComplementKind.SDBA_ORIGINAL
-        if kind is ComplementKind.RANK and via_semidet:
-            kind = ComplementKind.VIA_SEMIDET
+        if kind is ComplementKind.RANK:
+            if modular:
+                completed = complete(auto, sigma)
+                cond = condensation(completed)
+                if cond.modular_pays_off():
+                    return (ModularComplement(completed, cond),
+                            ComplementKind.MODULAR)
+            if via_semidet:
+                kind = ComplementKind.VIA_SEMIDET
 
+    if kind is ComplementKind.MODULAR:
+        return ModularComplement(complete(auto, sigma)), kind
     if kind is ComplementKind.FINITE_TRACE:
         result = complement_finite_trace(auto)
         if sigma != auto.alphabet:

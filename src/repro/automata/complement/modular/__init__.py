@@ -1,0 +1,37 @@
+"""Modular mix-and-match complementation (per-SCC decomposition).
+
+The condensation analyzer (:mod:`.analyze`) partitions the SCCs of a BA
+by the cheapest partial complementation procedure that handles them;
+:mod:`.partials` implements the per-class partial complements; and
+:mod:`.product` combines them on the fly into one implicit BA via a
+round-robin synchronized product.  Dispatched as
+``ComplementKind.MODULAR`` (see
+:mod:`repro.automata.complement.dispatch`).
+"""
+
+from repro.automata.complement.modular.analyze import (Component, Condensation,
+                                                       SCCClass, condensation,
+                                                       rank_bound)
+from repro.automata.complement.modular.partials import (CSBState, DetPartial,
+                                                        RankPartial,
+                                                        RankPartialState,
+                                                        WeakPartial,
+                                                        build_partials)
+from repro.automata.complement.modular.product import (ModularComplement,
+                                                       ModularState)
+
+__all__ = [
+    "SCCClass",
+    "Component",
+    "Condensation",
+    "condensation",
+    "rank_bound",
+    "WeakPartial",
+    "DetPartial",
+    "RankPartial",
+    "CSBState",
+    "RankPartialState",
+    "build_partials",
+    "ModularComplement",
+    "ModularState",
+]

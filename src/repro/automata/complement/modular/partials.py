@@ -1,0 +1,261 @@
+"""Per-class partial complements for the round-robin product.
+
+Each partial tracks exactly the runs currently *inside* its components
+(a block of accepting SCCs of one :class:`~.analyze.SCCClass`) and
+certifies that none of them stays there forever while visiting F
+infinitely often.  The internal transition function is
+``delta_stay(q, a) = delta(q, a) intersect SCC(q)``: the moment a run
+leaves its component it is dropped by the partial -- the condensation
+is a DAG, so a dropped run either dies, or re-enters the block in a
+*different* component and is re-admitted as a fresh entrant from the
+product's running subset ``pool`` (Koenig's lemma makes this complete:
+a word with no trapped accepting run has, for each partial, a branch
+on which the partial accepts infinitely often).
+
+The common protocol (duck-typed; see :mod:`.product`):
+
+- ``block`` -- the union of the partial's component state sets;
+- ``initial(pool)`` -- partial state for the initial subset ``pool``;
+- ``successors(state, symbol, new_pool)`` -- tuple of successor partial
+  states (empty = this product branch dies);
+- ``is_accepting(state)`` -- does the partial stamp its acceptance set
+  here (breakpoint empty)?
+
+Mapping to the mix-and-match catalogue: Miyano--Hayashi breakpoints for
+inherently-weak components; the CSB triple -- NCSB with the N component
+dropped, in its *lazy* variant -- covers both the "DBA-style" and the
+"NCSB" roles, since an internally deterministic accepting component is
+exactly the deterministic part of an SDBA; and a component-capped
+rank-based partial for the general leftovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+from typing import Iterable
+
+from repro.automata.complement.modular.analyze import Component
+from repro.automata.gba import GBA, State, Symbol
+
+
+def _powerset(items: Iterable[State]) -> Iterable[frozenset[State]]:
+    pool = sorted(items, key=repr)
+    return (frozenset(c) for r in range(len(pool) + 1)
+            for c in combinations(pool, r))
+
+
+class _PartialBase:
+    """Shared plumbing: the block, per-state components, delta_stay."""
+
+    KIND = "?"
+
+    def __init__(self, auto: GBA, components: tuple[Component, ...]):
+        self._auto = auto
+        self._scc_of: dict[State, frozenset[State]] = {
+            q: comp.states for comp in components for q in comp.states}
+        self.block: frozenset[State] = frozenset(self._scc_of)
+        self._f = auto.accepting
+
+    def _stay(self, states: Iterable[State], symbol: Symbol) -> frozenset[State]:
+        """Internal successors: ``delta(q, a)`` restricted to ``SCC(q)``."""
+        out: set[State] = set()
+        for q in states:
+            out |= self._auto.successors(q, symbol) & self._scc_of[q]
+        return frozenset(out)
+
+
+class WeakPartial(_PartialBase):
+    """Miyano--Hayashi breakpoint over the inherently-weak components.
+
+    Inside an inherently weak accepting SCC every internal cycle visits
+    F, so a run trapped there is accepting iff it is infinite: the
+    partial only needs to certify that every tracked run eventually
+    leaves (or dies).  State: the breakpoint set ``B``.  While ``B`` is
+    nonempty it follows internal successors; once it drains (accepting)
+    it re-arms with the block states of the *current* pool, so every run
+    is eventually tracked through a full drain (completeness), and a
+    trapped infinite run keeps ``B`` nonempty forever (soundness).
+    """
+
+    KIND = "weak"
+
+    def initial(self, pool: frozenset[State]) -> frozenset[State]:
+        return frozenset(pool) & self.block
+
+    def is_accepting(self, state: frozenset[State]) -> bool:
+        return not state
+
+    def successors(self, state: frozenset[State], symbol: Symbol,
+                   new_pool: frozenset[State]) -> tuple:
+        if state:
+            return (self._stay(state, symbol),)
+        return (frozenset(new_pool) & self.block,)
+
+
+@dataclass(frozen=True)
+class CSBState:
+    """NCSB triple without N: ``C`` checked, ``S`` safe, ``B`` breakpoint.
+
+    Invariants: ``C | S`` covers the block part of the pool,
+    ``S & F = {}``, ``B <= C``.
+    """
+
+    c: frozenset[State]
+    s: frozenset[State]
+    b: frozenset[State]
+
+    def __str__(self) -> str:
+        def fmt(xs):
+            return "{" + ",".join(sorted(map(str, xs))) + "}"
+        return f"(C={fmt(self.c)}, S={fmt(self.s)}, B={fmt(self.b)})"
+
+
+class DetPartial(_PartialBase):
+    """CSB partial over the internally deterministic accepting components.
+
+    The lazy NCSB construction with the nondeterministic component N
+    removed: inside a DET_ACCEPTING SCC each tracked run has exactly one
+    internal future, so it either leaves the component, or visits F only
+    finitely often (then it may be guessed *safe* and parked in ``S``),
+    or visits F infinitely often (then it stays in ``C`` and blocks the
+    ``B`` breakpoint forever -- soundness).  Guessing happens lazily at
+    breakpoints: fresh entrants always land in ``C`` and get their
+    S-guess at the next drain, which keeps the partial complete without
+    requiring the SDBA normalization step.
+    """
+
+    KIND = "det"
+
+    def initial(self, pool: frozenset[State]) -> CSBState:
+        c0 = frozenset(pool) & self.block
+        return CSBState(c0, frozenset(), c0)
+
+    def is_accepting(self, state: CSBState) -> bool:
+        return not state.b
+
+    def successors(self, state: CSBState, symbol: Symbol,
+                   new_pool: frozenset[State]) -> tuple:
+        pool2 = frozenset(new_pool) & self.block
+        s_min = self._stay(state.s, symbol)
+        if s_min & self._f:
+            return ()  # a safe run visited F: wrong guess, branch dies
+        out = []
+        if not state.b:
+            # Breakpoint: re-arm over the whole current block pool and
+            # guess which runs are now safe (never visit F again).
+            for extra in _powerset(pool2 - self._f - s_min):
+                s2 = s_min | extra
+                c2 = pool2 - s2
+                out.append(CSBState(c2, s2, c2))
+            return tuple(out)
+        b_min = self._stay(state.b - self._f, symbol)
+        if b_min & s_min:
+            return ()
+        b_pool = self._stay(state.b, symbol)
+        # Runs in B that just visited F may be guessed safe from here on;
+        # the F-free tails in b_min must stay under watch.
+        for extra in _powerset(b_pool - b_min - s_min - self._f):
+            s2 = s_min | extra
+            b2 = b_pool - s2
+            c2 = pool2 - s2
+            out.append(CSBState(c2, s2, b2))
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class RankPartialState:
+    """Level ranking over the block part of the pool + owing set ``O``."""
+
+    ranks: tuple[tuple[State, int], ...]
+    owing: frozenset[State]
+
+    def __str__(self) -> str:
+        body = ", ".join(f"{q}:{r}" for q, r in self.ranks)
+        owing = ",".join(sorted(map(str, self.owing)))
+        return f"(ranks={{{body}}}, O={{{owing}}})"
+
+
+def _make_rank_state(ranks: dict[State, int],
+                     owing: Iterable[State]) -> RankPartialState:
+    return RankPartialState(tuple(sorted(ranks.items(), key=repr)),
+                            frozenset(owing))
+
+
+class RankPartial(_PartialBase):
+    """Rank-based partial over the GENERAL components, per-SCC capped.
+
+    Kupferman--Vardi level rankings restricted to the block sub-DAG:
+    ranks never increase along internal edges, F states take even
+    ranks, and the owing set O cycles through the even-ranked vertices
+    (accepting iff empty).  Each state's rank is capped at
+    ``2 |SCC(q) \\ F|`` -- the classical bound local to its component
+    (*Sky Is Not the Limit*), which is what makes a small general
+    component cheap even inside a big automaton.  Fresh entrants from
+    the pool start at their component cap; a state that is both an
+    internal successor and a pool entrant keeps the (tighter) inherited
+    bound -- the canonical ranking of a rejected word's run DAG is
+    non-increasing along the tracked edges, so the tighter bound still
+    admits it.
+    """
+
+    KIND = "rank"
+
+    def __init__(self, auto: GBA, components: tuple[Component, ...]):
+        super().__init__(auto, components)
+        self._cap: dict[State, int] = {
+            q: 2 * len(comp.states - self._f)
+            for comp in components for q in comp.states}
+
+    def initial(self, pool: frozenset[State]) -> RankPartialState:
+        ranks = {q: self._cap[q] for q in frozenset(pool) & self.block}
+        return _make_rank_state(ranks, ())
+
+    def is_accepting(self, state: RankPartialState) -> bool:
+        return not state.owing
+
+    def successors(self, state: RankPartialState, symbol: Symbol,
+                   new_pool: frozenset[State]) -> tuple:
+        ranks = dict(state.ranks)
+        bounds: dict[State, int] = {}
+        for q, rank in ranks.items():
+            for q2 in self._auto.successors(q, symbol) & self._scc_of[q]:
+                bounds[q2] = min(bounds.get(q2, rank), rank)
+        for q in frozenset(new_pool) & self.block:
+            if q not in bounds:
+                bounds[q] = self._cap[q]
+        targets = sorted(bounds, key=repr)
+        choices = []
+        for q2 in targets:
+            allowed = [r for r in range(bounds[q2] + 1)
+                       if q2 not in self._f or r % 2 == 0]
+            if not allowed:  # pragma: no cover - caps are even, 0 always fits
+                return ()
+            choices.append(allowed)
+        owed_targets: set[State] = set()
+        for q in state.owing:
+            owed_targets |= self._auto.successors(q, symbol) & self._scc_of[q]
+        out = []
+        for combo in product(*choices):
+            assignment = dict(zip(targets, combo))
+            evens = {q for q, r in assignment.items() if r % 2 == 0}
+            owing2 = (owed_targets & evens) if state.owing else evens
+            out.append(_make_rank_state(assignment, owing2))
+        return tuple(out)
+
+
+def build_partials(auto: GBA, cond) -> tuple:
+    """One partial per accepting class present in the condensation."""
+    from repro.automata.complement.modular.analyze import SCCClass
+    partials = []
+    for cls, factory in ((SCCClass.WEAK_ACCEPTING, WeakPartial),
+                         (SCCClass.DET_ACCEPTING, DetPartial),
+                         (SCCClass.GENERAL, RankPartial)):
+        components = cond.by_class(cls)
+        if components:
+            partials.append(factory(auto, components))
+    return tuple(partials)
+
+
+__all__ = ["WeakPartial", "DetPartial", "RankPartial", "CSBState",
+           "RankPartialState", "build_partials"]

@@ -9,9 +9,11 @@ the complement iff some ranking run reaches ``O = {}`` infinitely often.
 This is the expensive last resort of the multi-stage approach (stage-4
 ``M_nondet`` modules); its cost -- ranks multiply, so successors are
 enumerated over a product of rank ranges -- is exactly why the paper
-works so hard to avoid it.  ``max_rank`` can cap the rank domain (the
-full ``2(n - |F|)`` bound is used by default, which preserves
-completeness of the construction).
+works so hard to avoid it.  ``max_rank`` can cap the rank domain; by
+default the minimum of the classical ``2(n - |F|)`` bound and the
+elevator-aware per-SCC bound (see
+:func:`repro.automata.classify.elevator_rank_bound`) is used, both of
+which preserve completeness of the construction.
 """
 
 from __future__ import annotations
@@ -56,11 +58,15 @@ class RankComplement:
             raise ValueError("complete the BA before complementing")
         self._auto = auto
         self._f = auto.accepting
-        n = len(auto.states)
-        # 2(n - |F|) ranks suffice (odd ranks only ever label F-free
-        # vertices of the run DAG), which is the classical tight bound.
-        self._max_rank = (2 * (n - len(self._f))
-                          if max_rank is None else max_rank)
+        # 2(n - |F|) ranks always suffice (odd ranks only ever label
+        # F-free vertices of the run DAG); the elevator-aware per-SCC
+        # bound is tighter whenever nondeterminism is confined to weak
+        # or internally deterministic components, and never worse.
+        if max_rank is None:
+            from repro.automata.classify import elevator_rank_bound
+            self._max_rank = elevator_rank_bound(auto)
+        else:
+            self._max_rank = max_rank
         self._succ_cache: dict[tuple[RankState, Symbol], tuple[RankState, ...]] = {}
 
     @property

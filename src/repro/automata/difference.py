@@ -37,9 +37,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.automata.classify import (is_deterministic, is_finite_trace,
-                                     is_semideterministic, sdba_parts)
-from repro.automata.complement.dispatch import (ComplementKind, classify_kind,
+from repro.automata.classify import sdba_parts
+from repro.automata.complement.dispatch import (KIND_GUARDS, ComplementKind,
+                                                classify_kind,
                                                 implicit_complement)
 from repro.automata.complement.ncsb import (MacroEncoder, MacroState,
                                             subsumes, subsumes_b)
@@ -219,17 +219,15 @@ class SubsumptionOracle(EmptyOracle):
         return self._size + super().__len__()
 
 
-_KIND_GUARDS = {
-    ComplementKind.FINITE_TRACE: is_finite_trace,
-    ComplementKind.DBA: is_deterministic,
-    ComplementKind.SDBA_ORIGINAL: is_semideterministic,
-    ComplementKind.SDBA_LAZY: is_semideterministic,
-}
+#: Shape guards for forced/pinned kinds (see dispatch.KIND_GUARDS; kinds
+#: absent there -- RANK, VIA_SEMIDET, MODULAR -- apply to any BA).
+_KIND_GUARDS = KIND_GUARDS
 
 #: Complementation cost levels (finite-trace < DBA < NCSB < general).
 _KIND_COST = {ComplementKind.FINITE_TRACE: 0, ComplementKind.DBA: 1,
               ComplementKind.SDBA_ORIGINAL: 2, ComplementKind.SDBA_LAZY: 2,
-              ComplementKind.VIA_SEMIDET: 3, ComplementKind.RANK: 3}
+              ComplementKind.VIA_SEMIDET: 3, ComplementKind.RANK: 3,
+              ComplementKind.MODULAR: 3}
 
 
 def _reduced_subtrahend(subtrahend: GBA,
@@ -302,6 +300,7 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
                lazy: bool = True,
                subsumption: bool = True,
                via_semidet: bool = False,
+               modular: bool = False,
                cache: bool = True,
                simulation_reduction: bool = True,
                kind: ComplementKind | None = None,
@@ -313,6 +312,14 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
     (the certified-module automaton).  ``lazy``/``subsumption`` select
     the Section 5/6 optimizations; ``kind`` pins the complementation
     procedure.  ``state_limit`` bounds the product exploration.
+
+    ``modular`` lets general subtrahends with a genuinely mixed SCC
+    condensation go through the per-SCC mix-and-match decomposition
+    (``ComplementKind.MODULAR``).  When the heuristic engaged it and the
+    exploration blows a *resource* limit (not the deadline), the call
+    retries once through the monolithic path -- the decomposition is a
+    bet, and the established construction stays the backstop.  A pinned
+    ``kind=MODULAR`` never falls back.
 
     ``cache`` (default on) installs the shared successor-index /
     memoization layer: an implicit minuend is wrapped in a
@@ -334,56 +341,80 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
         module_states = len(subtrahend.states)
         if simulation_reduction:
             subtrahend = _reduced_subtrahend(subtrahend, kind)
-        with tracer.span("complement") as comp_span:
-            comp, used_kind = implicit_complement(
-                subtrahend, minuend.alphabet, lazy=lazy,
-                via_semidet=via_semidet, kind=kind)
-            comp_span.set(kind=used_kind.value,
-                          module_states=len(subtrahend.states),
-                          reduced_from=module_states)
-        wrappers: list[CachedImplicitGBA] = []
-        left = minuend
-        if cache and not isinstance(left, (GBA, CachedImplicitGBA)):
-            left = CachedImplicitGBA(left)
-            wrappers.append(left)
-        product: ImplicitGBA = ProductGBA(left, comp)
-        if cache:
-            product = CachedImplicitGBA(product)
-            wrappers.append(product)
-        oracle: EmptyOracle | None = None
-        ncsb_kinds = (ComplementKind.SDBA_ORIGINAL, ComplementKind.SDBA_LAZY,
-                      ComplementKind.VIA_SEMIDET)
-        if subsumption and used_kind in ncsb_kinds:
-            uses_lazy = used_kind is ComplementKind.SDBA_LAZY or (
-                used_kind is ComplementKind.VIA_SEMIDET and lazy)
-            relation = subsumes_b if uses_lazy else subsumes
-            simulation = (_subtrahend_simulation(comp)
-                          if simulation_reduction else None)
-            oracle = SubsumptionOracle(relation, simulation=simulation)
-        useful, stats = remove_useless(product, oracle=oracle,
-                                       state_limit=state_limit,
-                                       deadline=deadline)
-        for wrapper in wrappers:
-            stats.cache_hits += wrapper.cache_hits
-            stats.cache_misses += wrapper.cache_misses
-        if isinstance(oracle, SubsumptionOracle):
-            stats.prefilter_skips = oracle.prefilter_skips
-            stats.sim_subsumption_hits = oracle.sim_subsumption_hits
-            _metrics.inc("difference.antichain.sim_hits",
-                         oracle.sim_subsumption_hits)
-        registry = _metrics.registry()
-        registry.counter("difference.calls").inc()
-        registry.counter("difference.explored_states").inc(stats.explored_states)
-        registry.counter("difference.explored_edges").inc(stats.explored_edges)
-        registry.counter("difference.subsumption_hits").inc(stats.subsumption_hits)
-        registry.counter("difference.cache.hits").inc(stats.cache_hits)
-        registry.counter("difference.cache.misses").inc(stats.cache_misses)
-        registry.counter(f"difference.by_kind.{used_kind.value}").inc()
-        registry.counter(
-            f"difference.by_kind.{used_kind.value}.explored_states").inc(
+        heuristic_modular = False
+
+        def attempt(use_modular: bool) -> DifferenceResult:
+            nonlocal heuristic_modular
+            with tracer.span("complement") as comp_span:
+                comp, used_kind = implicit_complement(
+                    subtrahend, minuend.alphabet, lazy=lazy,
+                    via_semidet=via_semidet, modular=use_modular, kind=kind)
+                comp_span.set(kind=used_kind.value,
+                              module_states=len(subtrahend.states),
+                              reduced_from=module_states)
+            heuristic_modular = (kind is None
+                                 and used_kind is ComplementKind.MODULAR)
+            wrappers: list[CachedImplicitGBA] = []
+            left = minuend
+            if cache and not isinstance(left, (GBA, CachedImplicitGBA)):
+                left = CachedImplicitGBA(left)
+                wrappers.append(left)
+            product: ImplicitGBA = ProductGBA(left, comp)
+            if cache:
+                product = CachedImplicitGBA(product)
+                wrappers.append(product)
+            oracle: EmptyOracle | None = None
+            ncsb_kinds = (ComplementKind.SDBA_ORIGINAL,
+                          ComplementKind.SDBA_LAZY,
+                          ComplementKind.VIA_SEMIDET)
+            if subsumption and used_kind in ncsb_kinds:
+                uses_lazy = used_kind is ComplementKind.SDBA_LAZY or (
+                    used_kind is ComplementKind.VIA_SEMIDET and lazy)
+                relation = subsumes_b if uses_lazy else subsumes
+                simulation = (_subtrahend_simulation(comp)
+                              if simulation_reduction else None)
+                oracle = SubsumptionOracle(relation, simulation=simulation)
+            useful, stats = remove_useless(product, oracle=oracle,
+                                           state_limit=state_limit,
+                                           deadline=deadline)
+            for wrapper in wrappers:
+                stats.cache_hits += wrapper.cache_hits
+                stats.cache_misses += wrapper.cache_misses
+            if isinstance(oracle, SubsumptionOracle):
+                stats.prefilter_skips = oracle.prefilter_skips
+                stats.sim_subsumption_hits = oracle.sim_subsumption_hits
+                _metrics.inc("difference.antichain.sim_hits",
+                             oracle.sim_subsumption_hits)
+            registry = _metrics.registry()
+            if used_kind is ComplementKind.MODULAR:
+                counts = comp.component_counts
+                stats.modular_components = dict(counts)
+                for key in ("weak", "det", "rank"):
+                    registry.counter(
+                        f"complement.modular.components.{key}").inc(counts[key])
+            registry.counter("difference.calls").inc()
+            registry.counter("difference.explored_states").inc(stats.explored_states)
+            registry.counter("difference.explored_edges").inc(stats.explored_edges)
+            registry.counter("difference.subsumption_hits").inc(stats.subsumption_hits)
+            registry.counter("difference.cache.hits").inc(stats.cache_hits)
+            registry.counter("difference.cache.misses").inc(stats.cache_misses)
+            registry.counter(f"difference.by_kind.{used_kind.value}").inc()
+            registry.counter(
+                f"difference.by_kind.{used_kind.value}.explored_states").inc(
+                    stats.explored_states)
+            registry.histogram("difference.explored_states_per_call").observe(
                 stats.explored_states)
-        registry.histogram("difference.explored_states_per_call").observe(
-            stats.explored_states)
-        span.set(kind=used_kind.value, explored=stats.explored_states,
-                 useful=stats.useful_states)
-        return DifferenceResult(useful, used_kind, stats)
+            span.set(kind=used_kind.value, explored=stats.explored_states,
+                     useful=stats.useful_states)
+            return DifferenceResult(useful, used_kind, stats)
+
+        try:
+            return attempt(modular)
+        except DeadlineExceeded:
+            raise
+        except ResourceExhausted:
+            if not heuristic_modular:
+                raise
+            _metrics.inc("difference.modular.fallbacks")
+            span.set(modular_fallback=True)
+            return attempt(False)

@@ -80,6 +80,10 @@ class RemovalStats:
     #: Antichain hits found only by the simulation-coarsened order
     #: (would have been missed by the raw componentwise-superset check).
     sim_subsumption_hits: int = 0
+    #: Per-kind accepting-component counts of a modular complementation
+    #: (``{"weak": .., "det": .., "rank": .., "inert": ..}``); None when
+    #: the subtrahend went through a monolithic procedure.
+    modular_components: dict | None = None
 
 
 class _Frame:
@@ -386,6 +390,13 @@ def _tarjan_sccs(auto: GBA, deadline: float | None = None) -> list[list[State]]:
         if v not in index:
             strongconnect(v)
     return sccs
+
+
+#: Public alias: SCCs of the reachable part, in Tarjan emission order
+#: (every SCC is emitted after all distinct SCCs reachable from it --
+#: reverse topological order of the condensation DAG).  Used by the
+#: condensation analyzer of the modular complementation subsystem.
+tarjan_sccs = _tarjan_sccs
 
 
 def _scc_is_accepting(auto: GBA, component: list[State]) -> bool:

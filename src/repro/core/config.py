@@ -58,6 +58,18 @@ class AnalysisConfig:
     #: Complement general (stage-4) modules through semi-determinization
     #: + NCSB instead of the rank-based construction.
     via_semidet: bool = False
+    #: Let general modules with a genuinely mixed SCC condensation go
+    #: through the per-SCC mix-and-match decomposition
+    #: (:mod:`repro.automata.complement.modular`); a resource blow-up
+    #: under the heuristic falls back to the monolithic path.  Takes
+    #: precedence over ``via_semidet`` when the condensation is mixed.
+    modular_complement: bool = True
+    #: Pin one complementation procedure for every module subtraction
+    #: (a :class:`~repro.automata.complement.dispatch.ComplementKind`
+    #: value, e.g. ``"modular"`` or ``"rank-based"``); None keeps the
+    #: class-aware dispatch.  The pin is best-effort: modules the kind
+    #: cannot complement fall back to the dispatch for that subtraction.
+    complement_kind: str | None = None
     #: Use the successor-index / memoization layer in the difference
     #: pipeline (CachedImplicitGBA wrappers + per-state edge lists).
     #: Off is only useful for ablation benchmarks.
@@ -100,6 +112,11 @@ class AnalysisConfig:
     #: worker payloads can switch chaos runs on per job.
     fault_plan: str | None = None
 
+    def __post_init__(self):
+        if self.complement_kind is not None:
+            from repro.automata.complement.dispatch import ComplementKind
+            ComplementKind(self.complement_kind)  # typo check: raises ValueError
+
     @staticmethod
     def single_stage(**kwargs) -> "AnalysisConfig":
         return AnalysisConfig(stages=StageSequence.SINGLE, **kwargs)
@@ -123,6 +140,8 @@ class AnalysisConfig:
             "lazy_complement": self.lazy_complement,
             "subsumption": self.subsumption,
             "via_semidet": self.via_semidet,
+            "modular_complement": self.modular_complement,
+            "complement_kind": self.complement_kind,
             "kernel_cache": self.kernel_cache,
             "simulation_reduction": self.simulation_reduction,
             "simulation_cap": self.simulation_cap,
@@ -177,6 +196,12 @@ class AnalysisConfig:
             opts.append("interpolants")
         if self.via_semidet:
             opts.append("semidet")
+        # Only non-default complementation knobs show up, so existing
+        # config strings (and the store keys derived from them) persist.
+        if self.complement_kind:
+            opts.append(f"comp={self.complement_kind}")
+        if not self.modular_complement:
+            opts.append("nomodular")
         if not self.kernel_cache:
             opts.append("nocache")
         if not self.simulation_reduction:

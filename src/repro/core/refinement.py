@@ -40,7 +40,7 @@ import enum
 import time
 from dataclasses import dataclass, field
 
-from repro.automata.complement.dispatch import ComplementKind
+from repro.automata.complement.dispatch import ComplementKind, kind_applies
 from repro.automata.difference import difference
 from repro.automata.emptiness import find_accepting_lasso
 from repro.automata.gba import GBA
@@ -184,12 +184,25 @@ class RefinementEngine:
                 Incident(kind, component, detail, round=index))
             registry.counter(f"incidents.{kind}").inc()
 
+        pinned_kind = (ComplementKind(config.complement_kind)
+                       if config.complement_kind else None)
+
         def subtract(minuend: GBA, module: CertifiedModule):
+            # Best-effort pin: a kind that cannot complement this
+            # module's automaton (e.g. NCSB pinned but a degraded module
+            # is not semideterministic) falls back to the dispatch for
+            # this subtraction instead of sinking the whole analysis.
+            module_kind = pinned_kind
+            if module_kind is not None \
+                    and not kind_applies(module_kind, module.automaton):
+                module_kind = None
             return difference(
                 minuend, module.automaton,
                 lazy=config.lazy_complement,
                 subsumption=config.subsumption,
                 via_semidet=config.via_semidet,
+                modular=config.modular_complement,
+                kind=module_kind,
                 cache=config.kernel_cache,
                 simulation_reduction=config.simulation_reduction,
                 state_limit=config.difference_state_limit,
@@ -359,14 +372,7 @@ class RefinementEngine:
                 current = result.automaton
                 if companion is not None and not result.is_empty:
                     try:
-                        extra = difference(
-                            current, companion.automaton,
-                            lazy=config.lazy_complement,
-                            subsumption=config.subsumption,
-                            cache=config.kernel_cache,
-                            simulation_reduction=config.simulation_reduction,
-                            state_limit=config.difference_state_limit,
-                            deadline=deadline)
+                        extra = subtract(current, companion)
                     except ResourceExhausted:
                         # Includes deadline overruns: the companion is an
                         # optional extra subtraction, and the next round's

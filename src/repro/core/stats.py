@@ -64,6 +64,10 @@ class RefinementRound:
     #: (proportional to the useful/active part, see RemovalStats).
     peak_pending_edges: int = 0
     complement_kind: str | None = None
+    #: Per-kind accepting-component counts when this round's subtrahend
+    #: went through modular complementation
+    #: (``{"weak": .., "det": .., "rank": .., "inert": ..}``), else None.
+    modular_components: dict | None = None
     #: Stage of the free companion module subtracted in the same round
     #: (interpolant rounds), or None.  When set, the exploration
     #: counters above include the companion subtraction's effort and
@@ -159,6 +163,7 @@ class StatsCollector:
         round_stats.cache_misses = result.stats.cache_misses
         round_stats.peak_pending_edges = result.stats.peak_pending_edges
         round_stats.complement_kind = result.kind.value
+        round_stats.modular_components = result.stats.modular_components
 
     def observe_companion(self, round_stats: RefinementRound,
                           result: DifferenceResult, stage: str) -> None:

@@ -48,6 +48,7 @@ SITES = (
     "solver.entailment",   # LinConj.entails_atom (wrong answers here)
     "solver.lp",           # LinearProgram.check_feasible
     "complement.ncsb",     # NCSB successor expansion
+    "complement.modular",  # modular round-robin successor expansion
     "difference",          # difference-pipeline entry
     "worker",              # runner task entry (crash = killed worker)
 )

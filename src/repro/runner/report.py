@@ -29,7 +29,15 @@ EFFORT_COUNTERS = (
     "difference.subsumption_hits",
     "difference.cache.hits",
     "difference.cache.misses",
+    "difference.modular.fallbacks",
+    "complement.modular.expansions",
+    "complement.modular.macrostates",
+    "complement.modular.components.weak",
+    "complement.modular.components.det",
+    "complement.modular.components.rank",
 )
+
+_EFFORT_SET = frozenset(EFFORT_COUNTERS)
 
 
 @dataclass
@@ -55,6 +63,11 @@ class ConfigAgg:
     total_seconds: float = 0.0
     max_seconds: float = 0.0
     counters: dict = field(default_factory=dict)
+    #: Row metric-counter names that were *not* summed because they are
+    #: absent from this version's EFFORT_COUNTERS schema (rows written
+    #: by another code version, or per-kind breakdowns the aggregate
+    #: does not carry).  Surfaced as a one-line warning by ``main``.
+    dropped_counters: set = field(default_factory=set)
 
     @property
     def mean_seconds(self) -> float:
@@ -86,10 +99,20 @@ def aggregate_rows(rows) -> dict[str, ConfigAgg]:
         agg.total_seconds += seconds
         agg.max_seconds = max(agg.max_seconds, seconds)
         counters = (row.get("stats") or {}).get("metrics", {}).get("counters", {})
-        for name in EFFORT_COUNTERS:
-            if name in counters:
-                agg.counters[name] = agg.counters.get(name, 0) + counters[name]
+        for name, value in counters.items():
+            if name in _EFFORT_SET:
+                agg.counters[name] = agg.counters.get(name, 0) + value
+            else:
+                agg.dropped_counters.add(name)
     return aggs
+
+
+def dropped_counter_names(aggs: dict[str, ConfigAgg]) -> list[str]:
+    """Every counter name some row carried but the aggregate dropped."""
+    dropped: set[str] = set()
+    for agg in aggs.values():
+        dropped |= agg.dropped_counters
+    return sorted(dropped)
 
 
 def to_dict(aggs: dict[str, ConfigAgg]) -> dict:
@@ -150,6 +173,14 @@ def main(argv: list[str] | None = None) -> int:
         print("no result rows in store", file=sys.stderr)
         return 3
     aggs = aggregate_rows(rows)
+    dropped = dropped_counter_names(aggs)
+    if dropped:
+        shown = ", ".join(dropped[:8])
+        if len(dropped) > 8:
+            shown += f", +{len(dropped) - 8} more"
+        print(f"warning: {len(dropped)} metric counter(s) not in the "
+              f"effort schema were dropped from the aggregate: {shown}",
+              file=sys.stderr)
     try:
         if args.json:
             print(json.dumps(to_dict(aggs), indent=2))
