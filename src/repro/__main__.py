@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="like --trace, but the file lands in DIR as "
                              "trace_<program>.jsonl -- the same layout "
                              "`bench --trace-dir` uses for its workers")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="durable refinement checkpoints: certified "
+                             "rounds are persisted there after each round "
+                             "and a re-run of the same program + config "
+                             "warm-starts from them (see README 'Resuming "
+                             "a killed analysis')")
     parser.add_argument("--stats-json", metavar="FILE", default=None,
                         help="write the run's AnalysisStats (rounds, "
                              "metrics) as JSON")
@@ -161,7 +167,9 @@ def run_single(argv: list[str]) -> int:
     def analyze():
         if args.portfolio:
             from repro.core.api import prove_termination_portfolio
-            return prove_termination_portfolio(program, timeout=args.timeout)
+            return prove_termination_portfolio(
+                program, timeout=args.timeout,
+                checkpoint_dir=args.checkpoint_dir)
         stages = (StageSequence.SINGLE if args.single_stage
                   else StageSequence.BY_NAME[args.sequence])
         aliases = {"auto": None, "rank": "rank-based", "ncsb": "ncsb-lazy"}
@@ -177,7 +185,15 @@ def run_single(argv: list[str]) -> int:
                                 complement_kind=complement_kind,
                                 timeout=args.timeout,
                                 max_refinements=args.max_refinements)
-        return prove_termination(program, config)
+        checkpoint = None
+        if args.checkpoint_dir:
+            from repro.core.checkpoint import Checkpointer
+            from repro.runner.store import job_key
+            checkpoint = Checkpointer(
+                args.checkpoint_dir,
+                job_key(program.name, source, config.to_dict()),
+                program=program.name)
+        return prove_termination(program, config, checkpoint=checkpoint)
 
     tracer: Tracer | None = None
     if args.trace or args.profile:

@@ -28,6 +28,7 @@ from repro.program.parser import parse_program
 def prove_termination(program: Program,
                       config: AnalysisConfig | None = None,
                       collector: StatsCollector | None = None,
+                      checkpoint=None,
                       ) -> TerminationResult:
     """Run the termination analysis on a parsed program.
 
@@ -36,10 +37,17 @@ def prove_termination(program: Program,
     activated around the run, and -- unless ``config.firewall`` is off
     -- every conclusive verdict is independently re-validated by
     :func:`repro.core.firewall.screen` before being returned.
+
+    ``checkpoint`` (a :class:`repro.core.checkpoint.Checkpointer`,
+    optional) makes the run crash-recoverable: the certified module
+    decomposition is durably persisted after every refinement round,
+    and a valid existing checkpoint warm-starts the run (every restored
+    certificate is re-validated first -- see the trust model in
+    :mod:`repro.core.checkpoint`).
     """
     config = config or AnalysisConfig()
     cfg = build_cfg(program)
-    engine = RefinementEngine(cfg, config, collector)
+    engine = RefinementEngine(cfg, config, collector, checkpoint=checkpoint)
     plan = faults.resolve_plan(config.fault_plan)
     if plan is not None:
         with faults.use_plan(plan):
@@ -54,9 +62,11 @@ def prove_termination(program: Program,
 def prove_termination_source(source: str,
                              config: AnalysisConfig | None = None,
                              collector: StatsCollector | None = None,
+                             checkpoint=None,
                              ) -> TerminationResult:
     """Parse source text and run the termination analysis."""
-    return prove_termination(parse_program(source), config, collector)
+    return prove_termination(parse_program(source), config, collector,
+                             checkpoint=checkpoint)
 
 
 #: The default portfolio: the paper-faithful multi-stage configuration,
@@ -75,6 +85,7 @@ def prove_termination_portfolio(program: Program,
                                 collector_factory: Callable[[], StatsCollector] | None = None,
                                 parallel: bool = False,
                                 workers: int | None = None,
+                                checkpoint_dir: str | None = None,
                                 ) -> TerminationResult:
     """Run configurations until one produces a verdict.
 
@@ -97,13 +108,19 @@ def prove_termination_portfolio(program: Program,
     Either way the returned result carries the winning run's stats in
     ``result.stats`` and the stats of every attempted configuration,
     in order, in ``result.attempts``.
+
+    ``checkpoint_dir`` makes every attempt durable: each configuration
+    checkpoints under its own (program, config, code-version) key, so
+    an attempt cut short by the budget leaves its certified rounds on
+    disk and a later invocation of the same portfolio warm-starts them.
     """
     if not configs:
         raise ValueError("the portfolio needs at least one configuration")
     if parallel:
         from repro.runner.race import race_portfolio
         return race_portfolio(program, configs, timeout=timeout,
-                              workers=workers)
+                              workers=workers,
+                              checkpoint_dir=checkpoint_dir)
     start = time.perf_counter()
     attempts: list[AnalysisStats] = []
     result: TerminationResult | None = None
@@ -118,7 +135,17 @@ def prove_termination_portfolio(program: Program,
             budget = remaining / (len(configs) - index)
             config = config.with_(timeout=budget)
         collector = collector_factory() if collector_factory is not None else None
-        result = prove_termination(program, config, collector)
+        checkpoint = None
+        if checkpoint_dir is not None:
+            from repro.core.checkpoint import Checkpointer
+            from repro.runner.store import job_key
+            name = getattr(program, "name", "<portfolio>")
+            checkpoint = Checkpointer(
+                checkpoint_dir,
+                job_key(name, str(program), configs[index].to_dict()),
+                program=name)
+        result = prove_termination(program, config, collector,
+                                   checkpoint=checkpoint)
         attempts.append(result.stats)
         if result.verdict is not Verdict.UNKNOWN:
             break

@@ -1,0 +1,460 @@
+"""Durable refinement checkpoints: crash-recoverable analyses.
+
+A long refinement run loses everything when its worker dies -- OOM
+kill, hard deadline, a pulled plug -- even though every certified
+module it already produced is an independently checkable artifact.
+This module persists the certified module decomposition after each
+round so an interrupted analysis warm-starts instead of recomputing:
+
+- **what is saved**: the modules only -- automaton, ranking function,
+  rank certificate, provenance word -- serialized as portable dicts
+  (Fractions as ``[num, den]`` pairs, states renumbered to ints,
+  symbols as their ``str()`` over the program alphabet).  The
+  uncertified *remainder* is deliberately **not** saved: it is exactly
+  the part of the analysis state that carries trust, and it is cheap
+  to rebuild by re-subtracting the restored modules from the freshly
+  constructed program automaton.
+- **how it is saved**: write-to-temp + flush + fsync + atomic rename,
+  so a crash mid-save leaves either the previous checkpoint or a
+  stray ``*.tmp`` -- never a torn file a reader could half-trust.
+  The ``checkpoint.write`` fault site (:mod:`repro.faults`) simulates
+  both torn-final-file and orphaned-tmp crashes for chaos testing.
+- **how it is keyed**: by the corpus store's job key (sha256 of
+  program, config, code version; see :func:`repro.runner.store.job_key`),
+  so a checkpoint is reused only while program, configuration, and
+  analysis version all match.
+- **the trust model**: a checkpoint is *untrusted input*.  On restore
+  every module is re-validated against the Definition 3.1 obligations
+  (:func:`repro.core.module.validate_module`) with fault injection
+  suspended and the budget cleared -- the verdict-firewall discipline.
+  Any module that fails (or any decode error, version/alphabet
+  mismatch, torn file) rejects the whole checkpoint and the analysis
+  cold-starts with a structured ``checkpoint.rejected`` incident.
+  A forged checkpoint can therefore cost work, never soundness: a
+  module that passes Definition 3.1 is sound to subtract regardless
+  of where it came from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from typing import Iterable
+
+import repro.faults as _faults
+from repro.automata.gba import GBA
+from repro.automata.words import UPWord
+from repro.core.budget import use_budget
+from repro.core.module import CertifiedModule, validate_module
+from repro.logic.atoms import Atom, Rel
+from repro.logic.linconj import LinConj
+from repro.logic.predicates import Pred
+from repro.logic.terms import LinTerm
+from repro.obs import metrics as _metrics
+
+#: Bump on any incompatible change to the checkpoint layout; a version
+#: mismatch rejects the checkpoint (cold start) instead of guessing.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint failed decoding or validation (reason in ``str``)."""
+
+
+# -- portable-dict serialization of the logic substrate ------------------------
+#
+# Everything below is JSON-ready: Fractions become [numerator,
+# denominator] pairs, terms/atoms/conjunctions/predicates nest as plain
+# dicts and lists.  Deserializers validate shapes strictly and raise
+# CheckpointError -- a checkpoint is untrusted input, so "almost the
+# right shape" must reject, not half-load.
+
+def frac_to_dict(value: Fraction) -> list:
+    return [value.numerator, value.denominator]
+
+
+def frac_from_dict(data) -> Fraction:
+    if (not isinstance(data, (list, tuple)) or len(data) != 2
+            or not all(isinstance(x, int) for x in data)):
+        raise CheckpointError(f"malformed fraction: {data!r}")
+    if data[1] == 0:
+        raise CheckpointError("fraction with zero denominator")
+    return Fraction(data[0], data[1])
+
+
+def term_to_dict(term: LinTerm) -> dict:
+    return {"coeffs": {name: frac_to_dict(c)
+                       for name, c in term.coeffs.items()},
+            "constant": frac_to_dict(term.constant)}
+
+
+def term_from_dict(data) -> LinTerm:
+    if not isinstance(data, dict):
+        raise CheckpointError(f"malformed term: {data!r}")
+    coeffs = data.get("coeffs", {})
+    if not isinstance(coeffs, dict):
+        raise CheckpointError(f"malformed term coefficients: {coeffs!r}")
+    return LinTerm({str(name): frac_from_dict(c)
+                    for name, c in coeffs.items()},
+                   frac_from_dict(data.get("constant", [0, 1])))
+
+
+def atom_to_dict(atom: Atom) -> dict:
+    return {"rel": atom.rel.value, "term": term_to_dict(atom.term)}
+
+
+def atom_from_dict(data) -> Atom:
+    if not isinstance(data, dict):
+        raise CheckpointError(f"malformed atom: {data!r}")
+    try:
+        rel = Rel(data.get("rel"))
+    except ValueError as exc:
+        raise CheckpointError(f"unknown atom relation: {data.get('rel')!r}") from exc
+    return Atom(term_from_dict(data.get("term")), rel)
+
+
+def conj_to_dict(conj: LinConj) -> list:
+    return [atom_to_dict(a) for a in conj.atoms]
+
+
+def conj_from_dict(data) -> LinConj:
+    if not isinstance(data, list):
+        raise CheckpointError(f"malformed conjunction: {data!r}")
+    return LinConj(atom_from_dict(a) for a in data)
+
+
+def pred_to_dict(pred: Pred) -> dict:
+    return {"inf": [conj_to_dict(d) for d in pred.inf_disjuncts],
+            "fin": [conj_to_dict(d) for d in pred.fin_disjuncts]}
+
+
+def pred_from_dict(data) -> Pred:
+    if not isinstance(data, dict):
+        raise CheckpointError(f"malformed predicate: {data!r}")
+    try:
+        return Pred(tuple(conj_from_dict(d) for d in data.get("inf", [])),
+                    tuple(conj_from_dict(d) for d in data.get("fin", [])))
+    except ValueError as exc:  # e.g. oldrnk constrained in the oo case
+        raise CheckpointError(f"invalid predicate: {exc}") from exc
+
+
+# -- symbols and automata -------------------------------------------------------
+#
+# Module automata are labelled by program statements (the program GBA's
+# alphabet), which are not JSON values.  A checkpoint therefore carries
+# a *symbol table* -- str(symbol) over the sorted alphabet -- and every
+# transition/word references symbols by table index.  On restore the
+# table is re-derived from the freshly parsed program's alphabet and
+# must match exactly; a program whose statements do not stringify
+# uniquely (never the case for the mini-language) cannot be
+# checkpointed at all.
+
+def symbol_table(alphabet: Iterable) -> tuple[list, dict] | None:
+    """``(ordered symbols, str(symbol) -> index)``; None if ambiguous."""
+    ordered = sorted(alphabet, key=str)
+    index = {str(sym): i for i, sym in enumerate(ordered)}
+    if len(index) != len(ordered):
+        return None
+    return ordered, index
+
+
+def gba_to_dict(automaton: GBA, sym_index: dict) -> dict:
+    ordered = sorted(automaton.states, key=lambda s: (str(type(s)), str(s)))
+    state_id = {state: i for i, state in enumerate(ordered)}
+    transitions = sorted(
+        [state_id[src], sym_index[str(sym)],
+         sorted(state_id[t] for t in targets)]
+        for (src, sym), targets in automaton.transitions.items())
+    return {"states": len(ordered),
+            "initial": sorted(state_id[q] for q in automaton.initial_states()),
+            "acc": [sorted(state_id[q] for q in f)
+                    for f in automaton.acc_sets],
+            "transitions": transitions}
+
+
+def gba_from_dict(data, symbols: list) -> GBA:
+    if not isinstance(data, dict):
+        raise CheckpointError(f"malformed automaton: {data!r}")
+    n = data.get("states")
+    if not isinstance(n, int) or n < 0:
+        raise CheckpointError(f"malformed state count: {n!r}")
+
+    def state(i) -> int:
+        if not isinstance(i, int) or not 0 <= i < n:
+            raise CheckpointError(f"state id out of range: {i!r}")
+        return i
+
+    transitions: dict[tuple, list] = {}
+    for entry in data.get("transitions", ()):
+        if not isinstance(entry, list) or len(entry) != 3:
+            raise CheckpointError(f"malformed transition: {entry!r}")
+        src, sym_id, targets = entry
+        if not isinstance(sym_id, int) or not 0 <= sym_id < len(symbols):
+            raise CheckpointError(f"symbol id out of range: {sym_id!r}")
+        transitions[(state(src), symbols[sym_id])] = \
+            [state(t) for t in targets]
+    return GBA(alphabet=symbols, transitions=transitions,
+               initial=[state(q) for q in data.get("initial", ())],
+               acc_sets=[[state(q) for q in f]
+                         for f in data.get("acc", ())],
+               states=range(n))
+
+
+def word_to_dict(word: UPWord, sym_index: dict) -> dict:
+    return {"prefix": [sym_index[str(s)] for s in word.prefix],
+            "period": [sym_index[str(s)] for s in word.period]}
+
+
+def word_from_dict(data, symbols: list) -> UPWord:
+    if not isinstance(data, dict):
+        raise CheckpointError(f"malformed word: {data!r}")
+
+    def sym(i):
+        if not isinstance(i, int) or not 0 <= i < len(symbols):
+            raise CheckpointError(f"word symbol id out of range: {i!r}")
+        return symbols[i]
+
+    try:
+        return UPWord(tuple(sym(i) for i in data.get("prefix", ())),
+                      tuple(sym(i) for i in data.get("period", ())))
+    except ValueError as exc:  # empty period
+        raise CheckpointError(f"invalid word: {exc}") from exc
+
+
+def module_to_dict(module: CertifiedModule, sym_index: dict) -> dict:
+    ordered = sorted(module.automaton.states,
+                     key=lambda s: (str(type(s)), str(s)))
+    state_id = {state: i for i, state in enumerate(ordered)}
+    return {"stage": module.stage,
+            "automaton": gba_to_dict(module.automaton, sym_index),
+            "ranking": term_to_dict(module.ranking),
+            "certificate": {str(state_id[q]): pred_to_dict(pred)
+                            for q, pred in module.certificate.items()
+                            if q in state_id},
+            "source_word": (word_to_dict(module.source_word, sym_index)
+                            if module.source_word is not None else None)}
+
+
+def module_from_dict(data, symbols: list) -> CertifiedModule:
+    if not isinstance(data, dict):
+        raise CheckpointError(f"malformed module: {data!r}")
+    automaton = gba_from_dict(data.get("automaton"), symbols)
+    certificate_data = data.get("certificate")
+    if not isinstance(certificate_data, dict):
+        raise CheckpointError("module without a certificate")
+    certificate = {}
+    for key, pred in certificate_data.items():
+        try:
+            state = int(key)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed certificate key: {key!r}") from exc
+        certificate[state] = pred_from_dict(pred)
+    word = data.get("source_word")
+    return CertifiedModule(
+        automaton=automaton,
+        ranking=term_from_dict(data.get("ranking")),
+        certificate=certificate,
+        stage=str(data.get("stage", "lasso")),
+        source_word=word_from_dict(word, symbols) if word is not None else None)
+
+
+# -- the checkpoint file --------------------------------------------------------
+
+def encode_checkpoint(key: str, program: str, alphabet: Iterable,
+                      modules: list[CertifiedModule]) -> dict | None:
+    """The JSON-ready checkpoint payload; None if the alphabet's
+    symbols do not stringify uniquely (checkpointing disabled)."""
+    table = symbol_table(alphabet)
+    if table is None:
+        return None
+    ordered, index = table
+    return {"version": CHECKPOINT_VERSION, "key": key, "program": program,
+            "alphabet": [str(sym) for sym in ordered],
+            "rounds": len(modules),
+            "modules": [module_to_dict(m, index) for m in modules]}
+
+
+def decode_checkpoint(data, key: str, alphabet: Iterable,
+                      ) -> list[CertifiedModule]:
+    """Deserialize ``data`` against the *fresh* program alphabet.
+
+    Purely structural: Definition 3.1 re-validation is the caller's job
+    (see :meth:`Checkpointer.restore`).  Raises :class:`CheckpointError`
+    on any mismatch.
+    """
+    if not isinstance(data, dict):
+        raise CheckpointError("checkpoint is not a JSON object")
+    if data.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {data.get('version')!r} != {CHECKPOINT_VERSION}")
+    if key and data.get("key") != key:
+        raise CheckpointError(
+            f"checkpoint key {data.get('key')!r} does not match {key!r}")
+    table = symbol_table(alphabet)
+    if table is None:
+        raise CheckpointError("program alphabet is ambiguous under str()")
+    ordered, _index = table
+    names = [str(sym) for sym in ordered]
+    if data.get("alphabet") != names:
+        raise CheckpointError("checkpoint alphabet does not match the program")
+    modules_data = data.get("modules")
+    if not isinstance(modules_data, list):
+        raise CheckpointError("checkpoint without a module list")
+    return [module_from_dict(m, ordered) for m in modules_data]
+
+
+def _sanitize(key: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in key)
+
+
+class Checkpointer:
+    """One job's durable checkpoint: atomic save, firewall-style restore.
+
+    Bound to a ``(directory, key)`` pair; the file is
+    ``<directory>/checkpoint_<key>.json``.  All failure modes are
+    contained: a failed save never interrupts the analysis, a bad
+    checkpoint never seeds it.  The instance keeps counters
+    (:meth:`summary`) so the harness can report what happened without
+    re-reading the file.
+    """
+
+    def __init__(self, directory: str, key: str, program: str = "?"):
+        self.directory = str(directory)
+        self.key = str(key)
+        self.program = program
+        self.path = os.path.join(self.directory,
+                                 f"checkpoint_{_sanitize(self.key)}.json")
+        #: successful atomic saves this run
+        self.saved = 0
+        #: saves lost to injected/real write failures
+        self.save_failures = 0
+        #: modules (= rounds) seeded from the checkpoint on restore
+        self.restored_rounds = 0
+        #: why the checkpoint was rejected (None = not rejected)
+        self.rejected: str | None = None
+
+    # -- save -------------------------------------------------------------------
+
+    def save(self, alphabet: Iterable, modules: list[CertifiedModule]) -> bool:
+        """Atomically persist the decomposition; returns success.
+
+        Never raises: serialization bugs, full disks, and injected
+        ``checkpoint.write`` faults all degrade to "no new checkpoint"
+        (the previous one, if any, stays intact thanks to the
+        write-tmp-then-rename protocol).
+        """
+        try:
+            data = encode_checkpoint(self.key, self.program, alphabet, modules)
+            if data is None:
+                self.save_failures += 1
+                return False
+            text = json.dumps(data, sort_keys=True)
+            os.makedirs(self.directory, exist_ok=True)
+            tmp = self.path + ".tmp"
+            try:
+                _faults.perturb("checkpoint.write")
+            except _faults.InjectedFault:
+                self._simulate_crash(text, tmp)
+                self.save_failures += 1
+                _metrics.inc("checkpoint.save_failures")
+                return False
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except OSError:
+            self.save_failures += 1
+            _metrics.inc("checkpoint.save_failures")
+            return False
+        self.saved += 1
+        _metrics.inc("checkpoint.saves")
+        return True
+
+    def _simulate_crash(self, text: str, tmp: str) -> None:
+        """The ``checkpoint.write`` fault: reproduce the two on-disk
+        shapes a real crash leaves, alternating deterministically --
+        a torn file at the *final* path (died mid-write before the
+        rename protocol existed / direct-write bugs), and an orphaned
+        complete tmp (died between fsync and rename)."""
+        try:
+            if self.save_failures % 2 == 0:
+                with open(self.path, "w", encoding="utf-8") as fh:
+                    fh.write(text[:max(1, len(text) // 2)])
+            else:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+        except OSError:
+            pass
+
+    # -- restore ----------------------------------------------------------------
+
+    def restore(self, alphabet: Iterable) -> list[CertifiedModule]:
+        """Load, decode, and *re-validate* the checkpointed modules.
+
+        Returns the validated modules (possibly empty: no checkpoint on
+        disk is a normal cold start, not a rejection).  Every other
+        failure -- torn file, bad JSON, version/alphabet/key mismatch,
+        any module failing the Definition 3.1 re-check or no longer
+        accepting its source word -- rejects the *whole* checkpoint:
+        ``self.rejected`` carries the reason and the caller cold-starts.
+        Validation runs with fault injection suspended and the budget
+        cleared, exactly like the verdict firewall: the checker must
+        see honest solver answers and cannot be starved by the budget
+        that may have killed the previous attempt.
+        """
+        self.rejected = None
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            self._reject(f"unreadable checkpoint: {exc}")
+            return []
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._reject("torn or corrupt checkpoint file")
+            return []
+        try:
+            modules = decode_checkpoint(data, self.key, alphabet)
+        except CheckpointError as exc:
+            self._reject(str(exc))
+            return []
+        except Exception as exc:  # noqa: BLE001 - untrusted input
+            self._reject(f"{type(exc).__name__}: {exc}")
+            return []
+        with _faults.suspended(), use_budget(None):
+            for index, module in enumerate(modules):
+                try:
+                    issues = validate_module(module)
+                except Exception as exc:  # noqa: BLE001 - untrusted input
+                    issues = [f"{type(exc).__name__}: {exc}"]
+                if issues:
+                    self._reject(f"module {index} ({module.stage}) failed "
+                                 f"re-validation: {issues[0]}")
+                    return []
+                if (module.source_word is not None
+                        and not module.language_contains(module.source_word)):
+                    self._reject(f"module {index} ({module.stage}) rejects "
+                                 f"its source word")
+                    return []
+        return modules
+
+    def _reject(self, reason: str) -> None:
+        self.rejected = reason
+        _metrics.inc("checkpoint.rejections")
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """JSON-ready counters for result rows / telemetry."""
+        out: dict = {"path": self.path, "saved": self.saved,
+                     "restored_rounds": self.restored_rounds}
+        if self.save_failures:
+            out["save_failures"] = self.save_failures
+        if self.rejected:
+            out["rejected"] = self.rejected
+        return out

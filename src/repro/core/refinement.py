@@ -124,10 +124,15 @@ class RefinementEngine:
 
     def __init__(self, cfg: ControlFlowGraph,
                  config: AnalysisConfig | None = None,
-                 collector: StatsCollector | None = None):
+                 collector: StatsCollector | None = None,
+                 checkpoint=None):
         self._cfg = cfg
         self._config = config or AnalysisConfig()
         self._collector = collector or StatsCollector()
+        #: Optional :class:`repro.core.checkpoint.Checkpointer`: the
+        #: certified decomposition is persisted after every round and
+        #: re-validated modules seed the run before the first one.
+        self._checkpoint = checkpoint
 
     def run(self) -> TerminationResult:
         tracer = get_tracer()
@@ -244,6 +249,48 @@ class RefinementEngine:
                 except ResourceExhausted as retry_exc:
                     last = retry_exc
             return None, last
+
+        checkpoint = self._checkpoint
+
+        def save_checkpoint() -> None:
+            if checkpoint is not None:
+                checkpoint.save(alphabet, modules)
+
+        if checkpoint is not None:
+            # Warm start: re-validate the persisted decomposition
+            # (Definition 3.1, firewall-style -- inside restore()) and
+            # re-subtract each surviving module from the fresh program
+            # automaton.  Only the *validated modules* come from disk;
+            # the remainder is rebuilt here, so the checkpoint never
+            # enters the trust base.  A rejected checkpoint costs
+            # nothing but the cold start it degrades to.
+            restored = checkpoint.restore(alphabet)
+            if checkpoint.rejected:
+                note("checkpoint.rejected", "checkpoint",
+                     checkpoint.rejected, None)
+            for module in restored:
+                try:
+                    result = subtract(current, module)
+                except DeadlineExceeded:
+                    return finish(Verdict.UNKNOWN, reason="timeout")
+                except ResourceExhausted as exc:
+                    # The re-subtraction itself blew a cap: keep the
+                    # modules already seeded (each was sound on its
+                    # own) and let the refinement loop take it from
+                    # the remainder built so far.
+                    note("budget.degraded", "checkpoint",
+                         f"restore stopped after "
+                         f"{checkpoint.restored_rounds} rounds: "
+                         f"{exc.resource}", None)
+                    break
+                current = result.automaton
+                modules.append(module)
+                collector.stats.modules_by_stage[module.stage] += 1
+                checkpoint.restored_rounds += 1
+                collector.stats.restored_rounds += 1
+                registry.counter("checkpoint.rounds_restored").inc()
+            if modules and not current.initial_states():
+                return finish(Verdict.TERMINATING)
 
         for index in range(config.max_refinements):
             if deadline is not None and time.perf_counter() > deadline:
@@ -390,6 +437,7 @@ class RefinementEngine:
                         current = extra.automaton
                 record(round_stats)
                 modules.append(module)
+                save_checkpoint()
                 if not current.initial_states():
                     return finish(Verdict.TERMINATING)
         return finish(Verdict.UNKNOWN, reason="refinement budget exhausted")

@@ -87,6 +87,10 @@ class AnalysisStats:
     total_seconds: float = 0.0
     peak_difference_states: int = 0
     gave_up_reason: str | None = None
+    #: Rounds seeded from a durable checkpoint instead of recomputed
+    #: (see :mod:`repro.core.checkpoint`); ``iterations`` counts only
+    #: the rounds this run actually performed.
+    restored_rounds: int = 0
     #: Snapshot of the run's metrics registry (see :mod:`repro.obs.metrics`):
     #: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
     metrics: dict = field(default_factory=dict)
@@ -124,6 +128,7 @@ class AnalysisStats:
             "total_seconds": self.total_seconds,
             "peak_difference_states": self.peak_difference_states,
             "gave_up_reason": self.gave_up_reason,
+            "restored_rounds": self.restored_rounds,
             "modules_by_stage": dict(self.modules_by_stage),
             "rounds": [asdict(r) for r in self.rounds],
             "metrics": self.metrics,
@@ -138,6 +143,7 @@ class AnalysisStats:
                     total_seconds=data.get("total_seconds", 0.0),
                     peak_difference_states=data.get("peak_difference_states", 0),
                     gave_up_reason=data.get("gave_up_reason"),
+                    restored_rounds=data.get("restored_rounds", 0),
                     metrics=data.get("metrics", {}))
         stats.rounds = [RefinementRound(**r) for r in data.get("rounds", ())]
         stats.modules_by_stage = Counter(data.get("modules_by_stage", {}))

@@ -51,6 +51,7 @@ SITES = (
     "complement.modular",  # modular round-robin successor expansion
     "difference",          # difference-pipeline entry
     "worker",              # runner task entry (crash = killed worker)
+    "checkpoint.write",    # durable checkpoint save (torn/partial write)
 )
 
 

@@ -46,22 +46,35 @@ EVENT_TYPES = frozenset({
     "started",    # the worker reported it began executing
     "heartbeat",  # periodic: pid, elapsed, rss_kb of a running job
     "finished",   # terminal: the job produced an outcome (status=...)
-    "killed",     # terminal: SIGKILLed (reason=deadline|cancelled)
-    "retried",    # the worker died; the job was requeued
+    "killed",     # terminal: SIGKILLed (reason=deadline|cancelled|oom)
+    "retried",    # the worker died; the job was requeued (delay=backoff)
+    "checkpoint.saved",     # a job durably saved >= 1 refinement round
+    "checkpoint.restored",  # a job warm-started from a checkpoint
+    "checkpoint.rejected",  # a checkpoint failed re-validation (cold start)
 })
 
 #: Terminal event types -- exactly one per job execution that ends.
 TERMINAL_TYPES = frozenset({"finished", "killed"})
 
 
-def _rss_kb(pid: int) -> int | None:
-    """Resident set size of ``pid`` in kB via /proc; None off-Linux."""
+def rss_kb(pid: int) -> int | None:
+    """Resident set size of ``pid`` in kB via /proc; None off-Linux.
+
+    Shared by the heartbeat sampler here and the worker pool's
+    memory-pressure watchdog (``WorkerPool(max_rss_kb=...)``), which
+    SIGKILLs workers past the cap before the kernel OOM killer picks a
+    victim of its own choosing.
+    """
     try:
         with open(f"/proc/{pid}/statm", "rb") as fh:
             pages = int(fh.read().split()[1])
         return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
     except (OSError, ValueError, IndexError):
         return None
+
+
+#: Backward-compatible alias (the sampler predates its public use).
+_rss_kb = rss_kb
 
 
 class Telemetry:
@@ -105,9 +118,16 @@ class Telemetry:
         return event
 
     def heartbeat_job(self, job: str | None, name: str | None,
-                      pid: int | None, elapsed: float) -> dict:
-        """Emit one heartbeat for a running job, sampling rss if cheap."""
-        rss = _rss_kb(pid) if pid is not None else None
+                      pid: int | None, elapsed: float,
+                      rss: int | None = None) -> dict:
+        """Emit one heartbeat for a running job, sampling rss if cheap.
+
+        ``rss`` lets a caller that already sampled (the pool's
+        memory-pressure watchdog) pass the value through instead of
+        reading ``/proc`` twice per beat.
+        """
+        if rss is None and pid is not None:
+            rss = rss_kb(pid)
         return self.emit("heartbeat", job=job, name=name, pid=pid,
                          elapsed=round(elapsed, 3), rss_kb=rss)
 
@@ -201,7 +221,14 @@ class FleetState:
             self.done += 1
             status = event.get("status")
             if status is None:
-                status = ("timeout" if event.get("reason") == "deadline"
+                # A kill without an explicit status folds by its reason:
+                # deadline kills are timeouts, memory-pressure kills are
+                # ``oom`` (the watchdog's preemptive SIGKILL must stay
+                # distinguishable from deadline kills), the rest are
+                # race cancellations.
+                reason = event.get("reason")
+                status = ("timeout" if reason == "deadline"
+                          else "oom" if reason == "oom"
                           else "cancelled")
             self.by_status[status] = self.by_status.get(status, 0) + 1
 
@@ -214,6 +241,14 @@ class FleetState:
     @property
     def timeouts(self) -> int:
         return self.by_status.get("timeout", 0)
+
+    @property
+    def ooms(self) -> int:
+        return self.by_status.get("oom", 0)
+
+    @property
+    def quarantined(self) -> int:
+        return self.by_status.get("quarantined", 0)
 
     def throughput(self) -> float:
         """Finished jobs per second since the first job started."""
@@ -248,6 +283,10 @@ class FleetState:
             parts.append(f"{self.errors} err")
         if self.timeouts:
             parts.append(f"{self.timeouts} t/o")
+        if self.ooms:
+            parts.append(f"{self.ooms} oom")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quar")
         rate = self.throughput()
         if rate > 0:
             parts.append(f"{rate:.1f} job/s")

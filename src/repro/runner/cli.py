@@ -49,8 +49,8 @@ def bench_main(argv: list[str] | None = None) -> int:
         prog="python -m repro bench",
         description="Evaluate a corpus manifest through the worker pool.",
         epilog="exit codes: 0 = all rows conclusive, 2 = some row "
-               "unknown or timed out, 3 = error rows (or --fail-fast "
-               "cancellation)")
+               "unknown, timed out, or oom-killed, 3 = error or "
+               "quarantined rows (or --fail-fast cancellation)")
     parser.add_argument("manifest", nargs="?", default=None,
                         help="corpus manifest JSON (default: the full "
                              "benchgen suite)")
@@ -66,6 +66,21 @@ def bench_main(argv: list[str] | None = None) -> int:
                         help="re-run jobs even if the store has their rows")
     parser.add_argument("--retry-errors", action="store_true",
                         help="re-run jobs whose stored status is 'error'")
+    parser.add_argument("--retry-timeouts", action="store_true",
+                        help="re-run jobs whose stored status is 'timeout' "
+                             "or 'oom' (with --checkpoint-dir they "
+                             "warm-start from their certified rounds)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="durable per-job refinement checkpoints: a "
+                             "killed run resumes from its certified rounds "
+                             "(see README 'Resuming a killed analysis')")
+    parser.add_argument("--max-rss", type=float, default=None, metavar="MB",
+                        help="memory-pressure watchdog: SIGKILL any worker "
+                             "whose resident set exceeds this many MB and "
+                             "record the job as status 'oom'")
+    parser.add_argument("--max-retries", type=int, default=1,
+                        help="respawns granted to a job whose worker died "
+                             "before it is quarantined (default 1)")
     parser.add_argument("--inprocess", action="store_true",
                         help="run jobs in-process (no subprocesses; "
                              "cooperative timeouts only)")
@@ -134,15 +149,20 @@ def bench_main(argv: list[str] | None = None) -> int:
                       else manifest.get("task_timeout"),
                       inprocess=True if args.inprocess else None,
                       telemetry=telemetry,
-                      heartbeat_interval=args.heartbeat_interval)
+                      heartbeat_interval=args.heartbeat_interval,
+                      max_retries=args.max_retries,
+                      max_rss_kb=int(args.max_rss * 1024)
+                      if args.max_rss is not None else None)
     try:
         summary = run_corpus(manifest, args.store,
                              task_timeout=args.task_timeout,
                              resume=not args.no_resume,
                              retry_errors=args.retry_errors,
+                             retry_timeouts=args.retry_timeouts,
                              pool=pool, on_row=on_row,
                              fail_fast=args.fail_fast,
-                             trace_dir=args.trace_dir)
+                             trace_dir=args.trace_dir,
+                             checkpoint_dir=args.checkpoint_dir)
     finally:
         telemetry.close()
 
@@ -161,11 +181,14 @@ def bench_main(argv: list[str] | None = None) -> int:
         with open(args.report_json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
-    if summary.errors:
-        print(f"{summary.errors} error row(s) in {args.store}",
+    if summary.errors or summary.quarantined:
+        bad = summary.errors + summary.quarantined
+        print(f"{bad} error/quarantined row(s) in {args.store}",
               file=sys.stderr)
         return 3
-    if summary.by_status.get("unknown", 0) or summary.by_status.get("timeout", 0):
+    if (summary.by_status.get("unknown", 0)
+            or summary.by_status.get("timeout", 0)
+            or summary.ooms):
         return 2
     return 0
 
@@ -192,6 +215,10 @@ def race_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--inprocess", action="store_true",
                         help="run attempts sequentially in-process "
                              "(degraded mode, still first-verdict-wins)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="durable per-attempt refinement checkpoints: "
+                             "losers' certified rounds survive the race and "
+                             "warm-start later attempts")
     parser.add_argument("--events", metavar="FILE", default=None,
                         help="write the fleet telemetry event log "
                              "(heartbeats + attempt lifecycle) as JSONL")
@@ -230,7 +257,8 @@ def race_main(argv: list[str] | None = None) -> int:
     try:
         result = race_portfolio(program, configs, timeout=args.timeout,
                                 workers=args.workers, pool=pool,
-                                telemetry=telemetry)
+                                telemetry=telemetry,
+                                checkpoint_dir=args.checkpoint_dir)
     finally:
         telemetry.close()
 

@@ -95,6 +95,14 @@ class CorpusRun:
     def errors(self) -> int:
         return self.by_status.get("error", 0)
 
+    @property
+    def ooms(self) -> int:
+        return self.by_status.get("oom", 0)
+
+    @property
+    def quarantined(self) -> int:
+        return self.by_status.get("quarantined", 0)
+
 
 def load_manifest(path: str | Path) -> dict:
     import json
@@ -218,23 +226,34 @@ def run_corpus(manifest: dict,
                task_timeout: float | None = None,
                resume: bool = True,
                retry_errors: bool = False,
+               retry_timeouts: bool = False,
                pool: WorkerPool | None = None,
                on_row: Callable[[dict], None] | None = None,
                fail_fast: bool = False,
                trace_dir: str | Path | None = None,
+               checkpoint_dir: str | Path | None = None,
                ) -> CorpusRun:
     """Evaluate a manifest, streaming rows into the JSONL store.
 
     With ``resume`` (default), jobs whose key already has a row are
     skipped -- re-running a finished corpus recomputes nothing.
     ``retry_errors`` additionally re-runs rows whose status is
-    ``error`` (fresh code often fixes a crash).  With ``fail_fast``,
-    the first ``error`` row cancels everything still queued or running
-    (finished rows stay in the store, so a fixed run resumes from
-    them).  With ``trace_dir``, every worker runs under its own JSONL
-    tracer and leaves ``trace_<job key>.jsonl`` there.  Returns the
-    run summary; ``summary.rows`` holds **all** rows of the matrix,
-    reused and new alike, for reporting.
+    ``error`` (fresh code often fixes a crash); ``retry_timeouts``
+    re-runs ``timeout`` and ``oom`` rows (useful with a bigger budget,
+    and -- with ``checkpoint_dir`` -- such rows *warm-start* from the
+    rounds their killed attempt already certified).  ``quarantined``
+    rows are never re-run by either knob: a poison job needs a code or
+    key change, not another retry.  With ``fail_fast``, the first
+    ``error`` row cancels everything still queued or running (finished
+    rows stay in the store, so a fixed run resumes from them).  With
+    ``trace_dir``, every worker runs under its own JSONL tracer and
+    leaves ``trace_<job key>.jsonl`` there.  With ``checkpoint_dir``,
+    every worker durably checkpoints its refinement rounds there keyed
+    by the job key, and checkpoint activity is surfaced as
+    ``checkpoint.saved`` / ``checkpoint.restored`` /
+    ``checkpoint.rejected`` telemetry events.  Returns the run
+    summary; ``summary.rows`` holds **all** rows of the matrix, reused
+    and new alike, for reporting.
     """
     start = time.perf_counter()
     jobs = expand_manifest(manifest, task_timeout=task_timeout)
@@ -243,6 +262,9 @@ def run_corpus(manifest: dict,
         if retry_errors:
             done = {k: row for k, row in done.items()
                     if row.get("status") != "error"}
+        if retry_timeouts:
+            done = {k: row for k, row in done.items()
+                    if row.get("status") not in ("timeout", "oom")}
         todo = [job for job in jobs if job.key not in done]
         if pool is None:
             pool = WorkerPool(workers=workers, task=analysis_task,
@@ -261,6 +283,25 @@ def run_corpus(manifest: dict,
             row = outcome_row(outcome)
             rows_by_key[row.get("key")] = row
             store.append(row)
+            if pool.telemetry is not None:
+                # Checkpoint activity happens inside the worker, which
+                # has no handle on the parent's telemetry channel; the
+                # worker reports its Checkpointer summary in the row and
+                # the parent re-emits it as events here.
+                summary = row.get("checkpoint") or {}
+                key = row.get("key")
+                if summary.get("saved"):
+                    pool.telemetry.emit("checkpoint.saved", key=key,
+                                        rounds=summary["saved"],
+                                        path=summary.get("path"))
+                if summary.get("restored_rounds"):
+                    pool.telemetry.emit("checkpoint.restored", key=key,
+                                        rounds=summary["restored_rounds"],
+                                        path=summary.get("path"))
+                if summary.get("rejected"):
+                    pool.telemetry.emit("checkpoint.rejected", key=key,
+                                        reason=summary["rejected"],
+                                        path=summary.get("path"))
             if on_row is not None:
                 on_row(row)
             if fail_fast and row.get("status") == "error":
@@ -271,6 +312,9 @@ def run_corpus(manifest: dict,
         if trace_dir is not None:
             for payload in payloads:
                 payload["trace_dir"] = str(trace_dir)
+        if checkpoint_dir is not None:
+            for payload in payloads:
+                payload["checkpoint_dir"] = str(checkpoint_dir)
         pool.run(payloads, on_outcome=on_outcome)
 
     rows = [rows_by_key[job.key] for job in jobs if job.key in rows_by_key]

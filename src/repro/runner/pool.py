@@ -11,7 +11,14 @@ enforces the budget from outside:
   budget gets ``kill_grace`` seconds to return gracefully first,
 - **crash isolation**: a worker death (segfault, OOM kill, interpreter
   abort) never takes the harness down; the job is retried at most
-  ``max_retries`` times and then recorded as ``error``,
+  ``max_retries`` times -- respawns back off exponentially with
+  deterministic per-job jitter -- and a job that dies on every allowed
+  execution is recorded ``quarantined`` (a poison job, skipped on
+  resume instead of retried forever),
+- **memory pressure**: with ``max_rss_kb`` set, a parent-side watchdog
+  samples worker rss on the heartbeat cadence and SIGKILLs any worker
+  past the cap, recording the job ``oom`` -- shedding load *before*
+  the kernel OOM killer does it indiscriminately,
 - **task exceptions** travel back with their traceback and become
   ``error`` rows immediately (they are deterministic -- retrying is
   waste),
@@ -40,6 +47,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 import signal
 import time
 import traceback
@@ -68,7 +76,10 @@ class TaskOutcome:
     payload: dict
     index: int
     #: ``ok`` (task returned), ``timeout`` (hard deadline SIGKILL),
-    #: ``error`` (task raised, or worker died beyond retry),
+    #: ``oom`` (the memory-pressure watchdog SIGKILLed the worker past
+    #: ``max_rss_kb``), ``error`` (task raised),
+    #: ``quarantined`` (the job killed its worker on every allowed
+    #: execution -- a poison job, recorded and never retried again),
     #: ``cancelled`` (a race winner stopped the run first).
     status: str
     result: dict | None = None
@@ -95,6 +106,13 @@ def analysis_task(payload: dict) -> dict:
     tracer writing ``trace_<job id>.jsonl`` into that directory
     (``repro.obs.report`` renders it) -- the tracer flushes per record,
     so even a worker SIGKILLed mid-analysis leaves its closed spans.
+
+    With ``checkpoint_dir`` set, the analysis is crash-recoverable: a
+    :class:`~repro.core.checkpoint.Checkpointer` keyed by the job key
+    (``checkpoint_key`` overrides, for callers whose ``key`` is not a
+    store key) persists the certified decomposition after every round
+    and warm-starts from a valid existing checkpoint.  The result row
+    carries the checkpoint counters under ``row["checkpoint"]``.
     """
     t0 = time.perf_counter()
     name = payload.get("name", "<anonymous>")
@@ -111,6 +129,14 @@ def analysis_task(payload: dict) -> dict:
         os.makedirs(trace_dir, exist_ok=True)
         job_id = str(payload.get("key") or name).replace(os.sep, "_")
         tracer = Tracer(os.path.join(trace_dir, f"trace_{job_id}.jsonl"))
+    checkpoint = None
+    checkpoint_dir = payload.get("checkpoint_dir")
+    if checkpoint_dir:
+        from repro.core.checkpoint import Checkpointer
+        checkpoint = Checkpointer(
+            str(checkpoint_dir),
+            str(payload.get("checkpoint_key") or payload.get("key") or name),
+            program=name)
     try:
         config = AnalysisConfig.from_dict(payload.get("config") or {})
         budget = payload.get("timeout")
@@ -125,10 +151,12 @@ def analysis_task(payload: dict) -> dict:
         if tracer is not None:
             from repro.obs.trace import use_tracer
             with use_tracer(tracer):
-                result = prove_termination(program, config)
+                result = prove_termination(program, config,
+                                           checkpoint=checkpoint)
             tracer.record_metrics(result.stats.metrics)
         else:
-            result = prove_termination(program, config)
+            result = prove_termination(program, config,
+                                       checkpoint=checkpoint)
     except ParseError as err:
         row = base_row()
         row.update(config=payload.get("config_name", ""), status="error",
@@ -154,6 +182,8 @@ def analysis_task(payload: dict) -> dict:
         modules_by_stage=dict(stats.modules_by_stage),
         stats=stats.to_dict(),
     )
+    if checkpoint is not None:
+        row["checkpoint"] = checkpoint.summary()
     if payload.get("want_result"):
         if payload.get("_same_process"):
             # In-process pools share the heap: hand the live result
@@ -237,6 +267,24 @@ class WorkerPool:
     ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`, optional)
     receives lifecycle events and periodic per-job heartbeats every
     ``heartbeat_interval`` seconds; without it the pool emits nothing.
+
+    Worker deaths are retried with capped exponential backoff plus
+    deterministic jitter: the delay before execution ``n + 1`` is
+    ``retry_backoff * 2^(n-1)`` plus a jitter drawn from
+    ``random.Random(f"{job id}:{n}")`` -- reproducible per job, spread
+    across jobs so a correlated crash (one bad node, one bad shared
+    resource) does not respawn the whole fleet in lockstep.  A job
+    whose worker dies on *every* allowed execution is a poison job:
+    it is recorded ``quarantined`` (never plain ``error``) so the
+    store layer can skip it on resume instead of retrying forever.
+
+    ``max_rss_kb`` arms the memory-pressure watchdog: on each
+    heartbeat the parent samples every worker's rss from ``/proc`` and
+    SIGKILLs any worker past the cap, recording the job ``oom`` --
+    preemptive and attributable, unlike the kernel OOM killer it
+    front-runs.  ``oom`` jobs are not retried (the same input would
+    balloon again deterministically); a durable checkpoint, if the
+    task keeps one, preserves the rounds finished before the kill.
     """
 
     def __init__(self, workers: int | None = None,
@@ -247,7 +295,10 @@ class WorkerPool:
                  start_method: str | None = None,
                  inprocess: bool | None = None,
                  telemetry=None,
-                 heartbeat_interval: float = 2.0):
+                 heartbeat_interval: float = 2.0,
+                 max_rss_kb: int | None = None,
+                 retry_backoff: float = 0.1,
+                 retry_backoff_cap: float = 5.0):
         self.workers = max(1, workers if workers is not None
                            else min(os.cpu_count() or 1, 8))
         self.task = task
@@ -256,6 +307,9 @@ class WorkerPool:
         self.max_retries = max_retries
         self.telemetry = telemetry
         self.heartbeat_interval = heartbeat_interval
+        self.max_rss_kb = max_rss_kb
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         if inprocess is None:
             inprocess = (os.environ.get("REPRO_RUNNER_INPROCESS") == "1"
                          or _mp is None)
@@ -306,6 +360,21 @@ class WorkerPool:
                             name=payload.get("name"),
                             config=payload.get("config_name"), **fields)
 
+    # -- retry backoff ----------------------------------------------------------
+
+    def retry_delay(self, payload: dict, execution: int) -> float:
+        """Backoff before respawning a job whose execution ``execution``
+        died: capped exponential base plus deterministic full jitter.
+
+        The jitter stream is seeded by ``(job id, execution)`` -- the
+        same job retries after the same delay on every replay (chaos
+        runs stay reproducible), while different jobs de-correlate so
+        a mass worker death does not respawn everything at once.
+        """
+        base = self.retry_backoff * (2 ** max(execution - 1, 0))
+        rng = random.Random(f"{self._job_id(payload)}:{execution}")
+        return min(base + rng.uniform(0.0, base), self.retry_backoff_cap)
+
     # -- in-process degradation -------------------------------------------------
 
     def _run_inprocess(self, payloads, on_outcome) -> list[TaskOutcome]:
@@ -348,10 +417,17 @@ class WorkerPool:
         outcomes: dict[int, TaskOutcome] = {}
         queue: deque[tuple[int, dict, int]] = deque(
             (i, self._with_budget(p), 1) for i, p in enumerate(payloads))
+        #: Respawns waiting out their backoff: (ready_at, index,
+        #: payload, execution), moved into ``queue`` when due.
+        pending: list[tuple[float, int, dict, int]] = []
         running: dict[object, _Running] = {}
         stopped = False
+        # The beat drives heartbeats *and* the memory-pressure
+        # watchdog, so it stays armed with a watchdog even when no
+        # telemetry channel is attached.
         next_beat = (time.perf_counter() + self.heartbeat_interval
-                     if self.telemetry is not None else None)
+                     if (self.telemetry is not None
+                         or self.max_rss_kb is not None) else None)
 
         def deliver(outcome: TaskOutcome) -> None:
             nonlocal stopped
@@ -374,15 +450,36 @@ class WorkerPool:
             self._tel("spawned", payload, pid=proc.pid, execution=execution)
 
         def beat(now: float) -> None:
-            """Sample one heartbeat per running job (parent-side)."""
+            """Sample one heartbeat per running job (parent-side) and
+            run the memory-pressure watchdog off the same rss sample."""
             nonlocal next_beat
             if next_beat is None or now < next_beat:
                 return
             next_beat = now + self.heartbeat_interval
-            for job in running.values():
-                self.telemetry.heartbeat_job(
-                    self._job_id(job.payload), job.payload.get("name"),
-                    job.proc.pid, elapsed=now - job.started)
+            from repro.obs.telemetry import rss_kb
+            for conn, job in list(running.items()):
+                rss = rss_kb(job.proc.pid) if job.proc.pid else None
+                if self.telemetry is not None:
+                    self.telemetry.heartbeat_job(
+                        self._job_id(job.payload), job.payload.get("name"),
+                        job.proc.pid, elapsed=now - job.started, rss=rss)
+                if (self.max_rss_kb is not None and rss is not None
+                        and rss > self.max_rss_kb):
+                    # Preemptive kill: shed the ballooning worker before
+                    # the kernel OOM killer picks a victim for us.  Not
+                    # retried -- the same job would balloon again.
+                    running.pop(conn)
+                    job.proc.kill()
+                    reap(job)
+                    self._tel("killed", job.payload, reason="oom",
+                              pid=job.proc.pid, rss_kb=rss,
+                              elapsed=round(now - job.started, 3))
+                    deliver(TaskOutcome(
+                        job.payload, job.index, "oom",
+                        error=f"worker rss {rss} kB exceeded the "
+                              f"{self.max_rss_kb} kB cap (SIGKILLed)",
+                        seconds=now - job.started,
+                        executions=job.execution))
 
         def reap(job: _Running) -> None:
             job.proc.join(timeout=5.0)
@@ -394,18 +491,31 @@ class WorkerPool:
             except Exception:
                 pass
 
-        while queue or running:
+        while queue or pending or running:
+            now = time.perf_counter()
+            if pending:
+                due = sorted(e for e in pending if e[0] <= now)
+                if due:
+                    pending[:] = [e for e in pending if e[0] > now]
+                    for _ready_at, index, payload, execution in due:
+                        queue.append((index, payload, execution))
             while queue and len(running) < self.workers and not stopped:
                 index, payload, execution = queue.popleft()
                 spawn(index, payload, execution)
             if not running:
                 if stopped:
                     break
+                if pending and not queue:
+                    # Every runnable job is waiting out its backoff.
+                    earliest = min(e[0] for e in pending)
+                    time.sleep(max(0.001,
+                                   min(earliest - time.perf_counter(), 0.05)))
                 continue
 
             now = time.perf_counter()
             deadlines = [j.deadline - now for j in running.values()
                          if j.deadline is not None]
+            deadlines.extend(e[0] - now for e in pending)
             wait_for = max(0.001, min(deadlines)) if deadlines else 0.2
             if next_beat is not None:
                 wait_for = max(0.001, min(wait_for, next_beat - now))
@@ -431,17 +541,27 @@ class WorkerPool:
                 if message is None:
                     exitcode = job.proc.exitcode
                     if job.execution <= self.max_retries:
+                        delay = self.retry_delay(job.payload, job.execution)
                         self._tel("retried", job.payload,
-                                  execution=job.execution, exitcode=exitcode)
-                        queue.append((job.index, job.payload,
-                                      job.execution + 1))
+                                  execution=job.execution, exitcode=exitcode,
+                                  delay=round(delay, 3))
+                        pending.append((now + delay, job.index, job.payload,
+                                        job.execution + 1))
                     else:
-                        self._tel("finished", job.payload, status="error",
+                        # Poison job: it killed its worker on every
+                        # allowed execution.  Quarantine it -- the store
+                        # keeps the row and resume skips it (even under
+                        # --retry-errors), so one bad input cannot eat
+                        # the fleet's respawn budget forever.
+                        self._tel("finished", job.payload,
+                                  status="quarantined",
                                   elapsed=round(elapsed, 3),
                                   exitcode=exitcode)
                         deliver(TaskOutcome(
-                            job.payload, job.index, "error",
-                            error=f"worker died (exit code {exitcode})",
+                            job.payload, job.index, "quarantined",
+                            error=f"worker died on all {job.execution} "
+                                  f"executions (last exit code {exitcode}); "
+                                  f"job quarantined",
                             seconds=elapsed, executions=job.execution))
                 elif message[0] == "ok":
                     self._tel("finished", job.payload, status="ok",
@@ -488,4 +608,8 @@ class WorkerPool:
             outcomes.setdefault(index, TaskOutcome(payload, index,
                                                    "cancelled",
                                                    executions=0))
+        for _ready_at, index, payload, execution in pending:
+            outcomes.setdefault(index, TaskOutcome(payload, index,
+                                                   "cancelled",
+                                                   executions=execution - 1))
         return [outcomes[i] for i in sorted(outcomes)]

@@ -98,6 +98,7 @@ def race_portfolio(program,
                    pool: WorkerPool | None = None,
                    names: Sequence[str] | None = None,
                    telemetry=None,
+                   checkpoint_dir: str | None = None,
                    ) -> TerminationResult:
     """Race ``configs`` on ``program``; the portfolio's parallel mode.
 
@@ -120,6 +121,12 @@ def race_portfolio(program,
     ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) attaches a
     fleet event channel to the pool the racer builds -- which attempt
     is running, which was cancelled, heartbeats while they race.
+
+    ``checkpoint_dir`` makes every attempt durably checkpoint its
+    refinement rounds there, keyed like the corpus store (program,
+    config, code version).  A losing attempt SIGKILLed mid-round leaves
+    its certified modules on disk, so re-racing the same portfolio (or
+    running that configuration alone later) warm-starts from them.
     """
     configs = list(configs)
     if not configs:
@@ -140,6 +147,16 @@ def race_portfolio(program,
             payload["source"] = program
         else:
             payload["program"] = program
+        if checkpoint_dir is not None:
+            from repro.runner.store import job_key
+            payload["checkpoint_dir"] = str(checkpoint_dir)
+            # The telemetry key above embeds the attempt index, which
+            # would split checkpoints across re-races; key the durable
+            # state the way the corpus store does instead.
+            payload["checkpoint_key"] = job_key(
+                payload["name"],
+                program if isinstance(program, str) else str(program),
+                config.to_dict())
         payloads.append(payload)
     if pool is None:
         n_workers = (workers if workers is not None

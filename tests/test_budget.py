@@ -153,9 +153,9 @@ def test_portfolio_stops_launching_after_budget_runs_out(monkeypatch):
     launched = []
     real = api.prove_termination
 
-    def spy(program, config=None, collector=None):
+    def spy(program, config=None, collector=None, checkpoint=None):
         launched.append(config.timeout)
-        return real(program, config, collector)
+        return real(program, config, collector, checkpoint=checkpoint)
 
     monkeypatch.setattr(api, "prove_termination", spy)
     program = parse_program(COUNTDOWN)

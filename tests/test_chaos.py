@@ -122,6 +122,66 @@ def test_flip_plans_never_flip_the_verdict():
             assert outcome != forbidden
 
 
+#: Seeded plans aimed at the durable-checkpoint write path.
+CHECKPOINT_PLANS = [
+    pytest.param(FaultPlan(seed=seed, crash_rate=rate,
+                           sites=("checkpoint.write",)),
+                 id=f"ckpt-rate{rate}-seed{seed}")
+    for rate in (0.5, 1.0)
+    for seed in range(5)
+]
+
+
+@pytest.mark.parametrize("plan", CHECKPOINT_PLANS)
+def test_checkpoint_write_faults_never_flip_verdicts(plan, tmp_path):
+    """Torn/partial checkpoint writes cost durability, never soundness.
+
+    Each program runs twice under the plan: the first run's saves may
+    be lost to injected crashes (leaving torn files and orphaned tmps
+    behind), and the second run must either reject those artifacts into
+    a clean cold start or restore only re-validated rounds -- with the
+    correct verdict both times.
+    """
+    from repro.core.checkpoint import Checkpointer
+
+    for index, (source, expected, forbidden) in enumerate(PROGRAMS):
+        directory = tmp_path / f"ckpt{index}"
+        config = AnalysisConfig(timeout=TIMEOUT)
+        for attempt in range(2):
+            checkpoint = Checkpointer(str(directory), f"chaos-{index}")
+            with faults.use_plan(plan):
+                try:
+                    result = prove_termination_source(
+                        source, config, checkpoint=checkpoint)
+                    outcome = result.verdict.value
+                except ReproError:
+                    outcome = "error"
+            assert outcome != forbidden, \
+                f"unsound verdict {outcome!r} under {plan!r}"
+            assert outcome in (expected, "unknown", "error")
+            # whatever the injected write crashes left on disk, a
+            # restore never seeds unvalidated rounds
+            assert checkpoint.restored_rounds >= 0
+            if checkpoint.rejected is not None:
+                # rejected checkpoints mean a cold start happened --
+                # and the verdict above was still correct
+                assert checkpoint.restored_rounds == 0
+
+
+def test_checkpoint_write_fault_plans_actually_inject(tmp_path):
+    from repro.core.checkpoint import Checkpointer
+
+    plan = FaultPlan(seed=0, crash_rate=1.0, sites=("checkpoint.write",))
+    checkpoint = Checkpointer(str(tmp_path), "inject-check")
+    with faults.use_plan(plan):
+        prove_termination_source(COUNTDOWN, AnalysisConfig(timeout=TIMEOUT),
+                                 checkpoint=checkpoint)
+        injected = faults.injected_counts()
+    assert injected.get("checkpoint.write", {}).get("crash", 0) >= 1
+    assert checkpoint.saved == 0
+    assert checkpoint.save_failures >= 1
+
+
 def test_worker_site_faults_become_error_rows(tmp_path):
     """A crash at the worker site surfaces as resumable error rows."""
     from repro.runner.corpus import run_corpus

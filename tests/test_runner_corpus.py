@@ -238,6 +238,77 @@ def test_run_corpus_through_real_workers(tmp_path):
     assert all(r.get("stats") for r in rows)  # full stats travel back
 
 
+def test_quarantined_rows_survive_every_retry_knob(tmp_path):
+    from repro.runner._testing import crash_task
+    store = tmp_path / "results.jsonl"
+    manifest = tiny_manifest()
+
+    def crashing_pool():
+        return WorkerPool(workers=1, task=crash_task, max_retries=1,
+                          retry_backoff=0.01)
+
+    pool = crashing_pool()
+    if pool.inprocess:
+        pytest.skip("multiprocessing unavailable: cannot quarantine")
+    summary = run_corpus(manifest, store, pool=pool)
+    assert summary.by_status == {"quarantined": 2}
+    assert summary.quarantined == 2
+    # poison jobs are pinned: neither resume nor the retry knobs may
+    # respawn a job that killed its worker on every execution
+    again = run_corpus(manifest, store, pool=crashing_pool(),
+                       retry_errors=True, retry_timeouts=True)
+    assert again.ran == 0 and again.skipped == 2
+
+
+def test_retry_timeouts_reruns_timeout_and_oom_rows(tmp_path):
+    store = tmp_path / "results.jsonl"
+    manifest = tiny_manifest(task_timeout=0.0)
+    first = run_corpus(manifest, store, pool=inprocess_pool())
+    assert first.by_status == {"timeout": 2}
+    # a plain resume keeps the timeout rows ...
+    again = run_corpus(manifest, store, pool=inprocess_pool(),
+                       task_timeout=30.0)
+    assert again.ran == 0
+    # ... --retry-timeouts re-runs them (here: with a real budget)
+    third = run_corpus(manifest, store, pool=inprocess_pool(),
+                       task_timeout=30.0, retry_timeouts=True)
+    assert third.ran == 2
+    assert third.by_status == {"terminating": 1, "nonterminating": 1}
+
+
+def test_corpus_checkpoint_dir_flows_to_workers_and_telemetry(tmp_path):
+    from repro.obs.telemetry import Telemetry
+    store = tmp_path / "results.jsonl"
+    ckpt = tmp_path / "ckpt"
+    tel = Telemetry()
+    summary = run_corpus(tiny_manifest(), store,
+                         pool=inprocess_pool(telemetry=tel),
+                         checkpoint_dir=ckpt)
+    assert summary.ran == 2
+    # only the terminating job certifies modules to persist; the
+    # diverging one refutes on its first lasso with nothing to save
+    files = sorted(ckpt.glob("checkpoint_*.json"))
+    assert len(files) == 1
+    saved = [e for e in tel.events if e["type"] == "checkpoint.saved"]
+    assert len(saved) == 1
+    assert saved[0]["rounds"] >= 1
+
+    # a fresh run (fresh store) over the same corpus warm-starts the
+    # checkpointed job and surfaces it as a checkpoint.restored event
+    tel2 = Telemetry()
+    again = run_corpus(tiny_manifest(), tmp_path / "results2.jsonl",
+                       pool=inprocess_pool(telemetry=tel2),
+                       checkpoint_dir=ckpt)
+    assert again.ran == 2
+    assert again.by_status == {"terminating": 1, "nonterminating": 1}
+    restored = [e for e in tel2.events if e["type"] == "checkpoint.restored"]
+    assert len(restored) == 1
+    assert restored[0]["rounds"] >= 1
+    warm = next(r for r in again.rows if r["status"] == "terminating")
+    assert warm["checkpoint"]["restored_rounds"] >= 1
+    assert warm["stats"]["restored_rounds"] >= 1
+
+
 # -- reporting ------------------------------------------------------------------
 
 

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from repro.runner._testing import crash_task, echo_task, flaky_task
+from repro.runner._testing import crash_task, echo_task, flaky_task, sleep_task
 from repro.runner.pool import TaskOutcome, WorkerPool, analysis_task
 
 pytestmark = pytest.mark.filterwarnings(
@@ -51,15 +51,61 @@ def test_hard_deadline_sigkills_hung_worker():
     assert wall < 30.0  # killed at ~0.4s, not after an hour
 
 
-def test_sigkilled_worker_is_error_not_unknown_and_retried_once():
-    pool = WorkerPool(workers=2, task=crash_task, max_retries=1)
+def test_sigkilled_worker_is_quarantined_after_retries():
+    pool = WorkerPool(workers=2, task=crash_task, max_retries=1,
+                      retry_backoff=0.01)
     if pool.inprocess:
         pytest.skip("multiprocessing unavailable: cannot observe SIGKILL")
     outcomes = pool.run([{"name": "crash"}])
-    assert outcomes[0].status == "error"
+    assert outcomes[0].status == "quarantined"
     assert outcomes[0].status != "unknown"
     assert "died" in outcomes[0].error
+    assert "quarantined" in outcomes[0].error
     assert outcomes[0].executions == 2  # the original + exactly one retry
+
+
+def test_memory_watchdog_kills_and_reports_oom():
+    # Any live Python worker's RSS dwarfs a 1 kB cap, so the watchdog
+    # must kill it on the first heartbeat -- no balloon task needed.
+    pool = WorkerPool(workers=1, task=sleep_task, max_rss_kb=1,
+                      heartbeat_interval=0.05, kill_grace=0.2)
+    if pool.inprocess:
+        pytest.skip("multiprocessing unavailable: no watchdog")
+    start = time.perf_counter()
+    outcomes = pool.run([{"key": "fat", "name": "fat", "delay": 3600.0}])
+    wall = time.perf_counter() - start
+    assert outcomes[0].status == "oom"
+    assert "rss" in outcomes[0].error
+    assert "kB cap" in outcomes[0].error
+    assert wall < 30.0  # killed at the first heartbeat, not the deadline
+
+
+def test_oom_kill_is_not_retried():
+    pool = WorkerPool(workers=1, task=sleep_task, max_rss_kb=1,
+                      max_retries=3, heartbeat_interval=0.05, kill_grace=0.2)
+    if pool.inprocess:
+        pytest.skip("multiprocessing unavailable: no watchdog")
+    outcomes = pool.run([{"key": "fat", "name": "fat", "delay": 3600.0}])
+    assert outcomes[0].status == "oom"
+    assert outcomes[0].executions == 1  # a deterministic balloon:
+    # respawning it would only re-balloon
+
+
+def test_retry_delay_is_seeded_capped_exponential():
+    pool = WorkerPool(workers=1, task=echo_task,
+                      retry_backoff=0.1, retry_backoff_cap=1.0)
+    payload = {"key": "j1", "name": "j1"}
+    delays = [pool.retry_delay(payload, n) for n in range(1, 8)]
+    # deterministic: same job, same execution => same delay
+    assert delays == [pool.retry_delay(payload, n) for n in range(1, 8)]
+    # exponential floor with full jitter, capped
+    for n, delay in enumerate(delays, start=1):
+        base = 0.1 * (2 ** (n - 1))
+        assert min(base, 1.0) <= delay <= min(2 * base, 1.0) + 1e-9
+    assert delays[-1] == 1.0  # the cap
+    # a different job draws a different jitter stream
+    other = pool.retry_delay({"key": "j2", "name": "j2"}, 1)
+    assert other != delays[0]
 
 
 def test_flaky_worker_recovers_on_retry(tmp_path):

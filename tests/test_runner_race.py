@@ -104,6 +104,22 @@ def test_race_portfolio_accepts_source_text():
     assert result.verdict is Verdict.TERMINATING
 
 
+def test_race_checkpoint_dir_persists_and_warm_starts(tmp_path):
+    program = parse_program(COUNTDOWN)
+    result = race_portfolio(program, DEFAULT_PORTFOLIO, timeout=60.0,
+                            checkpoint_dir=str(tmp_path))
+    assert result.verdict is Verdict.TERMINATING
+    files = sorted(tmp_path.glob("checkpoint_*.json"))
+    assert files, "racing attempts left no durable checkpoints"
+    # re-racing the same portfolio restores the winner's rounds: the
+    # checkpoint key ignores the attempt index, so it survives re-runs
+    from repro.core.api import prove_termination_portfolio
+    again = prove_termination_portfolio(program, timeout=60.0,
+                                        checkpoint_dir=str(tmp_path))
+    assert again.verdict is Verdict.TERMINATING
+    assert again.stats.restored_rounds >= 1
+
+
 def test_race_degraded_inprocess_pool():
     pool = WorkerPool(workers=1, inprocess=True, task_timeout=60.0)
     result = race_portfolio(parse_program(COUNTDOWN), DEFAULT_PORTFOLIO,

@@ -16,7 +16,7 @@ import pytest
 from repro.obs.report import aggregate, load_records
 from repro.obs.telemetry import (EVENT_TYPES, FleetMonitor, FleetState,
                                  Telemetry, read_events)
-from repro.runner._testing import crash_task, echo_task
+from repro.runner._testing import crash_task, echo_task, sleep_task
 from repro.runner.pool import WorkerPool, analysis_task
 
 pytestmark = pytest.mark.filterwarnings(
@@ -124,23 +124,50 @@ def test_deadline_killed_worker_leaves_killed_event(tmp_path):
             json.loads(line)
 
 
-def test_worker_death_emits_retried_then_error(tmp_path):
+def test_worker_death_emits_retried_then_quarantined(tmp_path):
     path = tmp_path / "events.jsonl"
     tel = Telemetry(str(path))
     pool = WorkerPool(workers=1, task=crash_task, max_retries=1,
-                      telemetry=tel)
+                      retry_backoff=0.01, telemetry=tel)
     if pool.inprocess:
         pytest.skip("multiprocessing unavailable: cannot observe SIGKILL")
     outcomes = pool.run([{"key": "c", "name": "c"}])
     tel.close()
-    assert outcomes[0].status == "error"
-    types = [e["type"] for e in read_events(str(path))
-             if e.get("job") == "c"]
-    # spawned, (started), retried, spawned, (started), finished(error) --
+    assert outcomes[0].status == "quarantined"
+    events = [e for e in read_events(str(path)) if e.get("job") == "c"]
+    types = [e["type"] for e in events]
+    # spawned, (started), retried, spawned, (started), finished(quar) --
     # "started" may lose the race against SIGKILL, the rest may not
     assert types.count("retried") == 1
     assert types.count("spawned") == 2
     assert types[-1] == "finished"
+    assert events[-1]["status"] == "quarantined"
+    # the respawn was delayed by the (seeded, capped) backoff
+    retried = next(e for e in events if e["type"] == "retried")
+    assert retried["delay"] >= 0.01
+
+
+def test_memory_watchdog_emits_killed_oom_event(tmp_path):
+    path = tmp_path / "events.jsonl"
+    tel = Telemetry(str(path))
+    pool = WorkerPool(workers=1, task=sleep_task, max_rss_kb=1,
+                      heartbeat_interval=0.05, kill_grace=0.2,
+                      telemetry=tel)
+    if pool.inprocess:
+        pytest.skip("multiprocessing unavailable: no watchdog")
+    outcomes = pool.run([{"key": "fat", "name": "fat", "delay": 3600.0}])
+    tel.close()
+    assert outcomes[0].status == "oom"
+    events = list(read_events(str(path)))
+    killed = [e for e in events if e["type"] == "killed"]
+    assert len(killed) == 1
+    assert killed[0]["reason"] == "oom"
+    assert killed[0]["rss_kb"] > 1
+    # the fleet view folds the oom kill into its own status bucket
+    state = FleetState()
+    for event in events:
+        state.observe(event)
+    assert state.ooms == 1
 
 
 def test_inprocess_pool_still_emits_lifecycle():
@@ -206,6 +233,28 @@ def test_fleet_state_counts_throughput_and_eta():
     assert state.eta_seconds() == pytest.approx(0.0)
     tally = state.tally()
     assert "3/3" in tally and "1 err" in tally and "1 t/o" in tally
+
+
+def test_fleet_state_folds_oom_kills_and_quarantines():
+    state = FleetState()
+    for event in [
+        {"type": "plan", "t": 0.0, "total": 3, "skipped": 0, "to_run": 3},
+        {"type": "spawned", "t": 0.1, "job": "fat", "name": "fat", "pid": 7},
+        {"type": "killed", "t": 0.5, "job": "fat", "reason": "oom",
+         "rss_kb": 999999},
+        {"type": "spawned", "t": 0.5, "job": "poison", "name": "poison",
+         "pid": 8},
+        {"type": "finished", "t": 0.9, "job": "poison",
+         "status": "quarantined"},
+        {"type": "spawned", "t": 0.9, "job": "ok", "name": "ok", "pid": 9},
+        {"type": "finished", "t": 1.2, "job": "ok", "status": "ok"},
+    ]:
+        state.observe(event)
+    assert state.by_status == {"oom": 1, "quarantined": 1, "ok": 1}
+    assert state.ooms == 1 and state.quarantined == 1
+    assert not state.running
+    tally = state.tally()
+    assert "1 oom" in tally and "1 quar" in tally
 
 
 def test_fleet_monitor_renders_rows_and_status():
