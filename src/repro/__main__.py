@@ -112,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "and a re-run of the same program + config "
                              "warm-starts from them (see README 'Resuming "
                              "a killed analysis')")
+    parser.add_argument("--module-library", metavar="PATH", default=None,
+                        help="cross-program certified-module library "
+                             "(append-only JSONL): reuse published modules "
+                             "before synthesizing, publish what this run "
+                             "certifies (see README 'Warm-starting a corpus "
+                             "from a module library')")
     parser.add_argument("--stats-json", metavar="FILE", default=None,
                         help="write the run's AnalysisStats (rounds, "
                              "metrics) as JSON")
@@ -169,7 +175,8 @@ def run_single(argv: list[str]) -> int:
             from repro.core.api import prove_termination_portfolio
             return prove_termination_portfolio(
                 program, timeout=args.timeout,
-                checkpoint_dir=args.checkpoint_dir)
+                checkpoint_dir=args.checkpoint_dir,
+                module_library=args.module_library)
         stages = (StageSequence.SINGLE if args.single_stage
                   else StageSequence.BY_NAME[args.sequence])
         aliases = {"auto": None, "rank": "rank-based", "ncsb": "ncsb-lazy"}
@@ -193,7 +200,8 @@ def run_single(argv: list[str]) -> int:
                 args.checkpoint_dir,
                 job_key(program.name, source, config.to_dict()),
                 program=program.name)
-        return prove_termination(program, config, checkpoint=checkpoint)
+        return prove_termination(program, config, checkpoint=checkpoint,
+                                 library=args.module_library)
 
     tracer: Tracer | None = None
     if args.trace or args.profile:

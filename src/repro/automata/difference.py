@@ -374,36 +374,54 @@ def difference(minuend: ImplicitGBA, subtrahend: GBA, *,
                 simulation = (_subtrahend_simulation(comp)
                               if simulation_reduction else None)
                 oracle = SubsumptionOracle(relation, simulation=simulation)
-            useful, stats = remove_useless(product, oracle=oracle,
-                                           state_limit=state_limit,
-                                           deadline=deadline)
-            for wrapper in wrappers:
-                stats.cache_hits += wrapper.cache_hits
-                stats.cache_misses += wrapper.cache_misses
-            if isinstance(oracle, SubsumptionOracle):
-                stats.prefilter_skips = oracle.prefilter_skips
-                stats.sim_subsumption_hits = oracle.sim_subsumption_hits
-                _metrics.inc("difference.antichain.sim_hits",
-                             oracle.sim_subsumption_hits)
-            registry = _metrics.registry()
-            if used_kind is ComplementKind.MODULAR:
-                counts = comp.component_counts
-                stats.modular_components = dict(counts)
-                for key in ("weak", "det", "rank"):
-                    registry.counter(
-                        f"complement.modular.components.{key}").inc(counts[key])
-            registry.counter("difference.calls").inc()
-            registry.counter("difference.explored_states").inc(stats.explored_states)
-            registry.counter("difference.explored_edges").inc(stats.explored_edges)
-            registry.counter("difference.subsumption_hits").inc(stats.subsumption_hits)
-            registry.counter("difference.cache.hits").inc(stats.cache_hits)
-            registry.counter("difference.cache.misses").inc(stats.cache_misses)
-            registry.counter(f"difference.by_kind.{used_kind.value}").inc()
-            registry.counter(
-                f"difference.by_kind.{used_kind.value}.explored_states").inc(
+            def register(stats: RemovalStats) -> None:
+                """Fold the wrapper/oracle counters into ``stats`` and
+                account the attempt in the metrics registry."""
+                for wrapper in wrappers:
+                    stats.cache_hits += wrapper.cache_hits
+                    stats.cache_misses += wrapper.cache_misses
+                if isinstance(oracle, SubsumptionOracle):
+                    stats.prefilter_skips = oracle.prefilter_skips
+                    stats.sim_subsumption_hits = oracle.sim_subsumption_hits
+                    _metrics.inc("difference.antichain.sim_hits",
+                                 oracle.sim_subsumption_hits)
+                registry = _metrics.registry()
+                if used_kind is ComplementKind.MODULAR:
+                    counts = comp.component_counts
+                    stats.modular_components = dict(counts)
+                    for key in ("weak", "det", "rank"):
+                        registry.counter(
+                            f"complement.modular.components.{key}").inc(counts[key])
+                registry.counter("difference.calls").inc()
+                registry.counter("difference.explored_states").inc(stats.explored_states)
+                registry.counter("difference.explored_edges").inc(stats.explored_edges)
+                registry.counter("difference.subsumption_hits").inc(stats.subsumption_hits)
+                registry.counter("difference.cache.hits").inc(stats.cache_hits)
+                registry.counter("difference.cache.misses").inc(stats.cache_misses)
+                registry.counter(f"difference.by_kind.{used_kind.value}").inc()
+                registry.counter(
+                    f"difference.by_kind.{used_kind.value}.explored_states").inc(
+                        stats.explored_states)
+                registry.histogram("difference.explored_states_per_call").observe(
                     stats.explored_states)
-            registry.histogram("difference.explored_states_per_call").observe(
-                stats.explored_states)
+
+            try:
+                useful, stats = remove_useless(product, oracle=oracle,
+                                               state_limit=state_limit,
+                                               deadline=deadline)
+            except ResourceExhausted as exc:  # includes DeadlineExceeded
+                # A blown budget or deadline must still account its
+                # partial exploration: the degradation ladder retries
+                # exactly these attempts, and a zero-effort row would
+                # hide them from `repro report` and the trajectory gate.
+                partial = getattr(exc, "partial_stats", None)
+                if partial is not None:
+                    register(partial)
+                    _metrics.inc("difference.aborted")
+                    span.set(aborted=True,
+                             explored=partial.explored_states)
+                raise
+            register(stats)
             span.set(kind=used_kind.value, explored=stats.explored_states,
                      useful=stats.useful_states)
             return DifferenceResult(useful, used_kind, stats)

@@ -268,10 +268,18 @@ def _remove_useless(auto: ImplicitGBA, *,
             if frames:
                 frames[-1].is_nemp = frames[-1].is_nemp or frame.is_nemp
 
-    for initial in sorted(auto.initial_states(), key=repr):
-        if initial not in useful and not oracle.contains(initial):
-            if initial not in dfsnum:
-                construct(initial)
+    try:
+        for initial in sorted(auto.initial_states(), key=repr):
+            if initial not in useful and not oracle.contains(initial):
+                if initial not in dfsnum:
+                    construct(initial)
+    except ResourceExhausted as exc:  # includes ExplorationTimeout
+        # The partial effort must survive the unwind: the difference
+        # layer registers explored states/edges even for attempts that
+        # blow a budget or deadline (see difference.attempt), so a
+        # retried round is never invisible in the metrics.
+        exc.partial_stats = stats
+        raise
 
     acc = [[q for q in useful if j in auto.accepting_sets_of(q)]
            for j in range(auto.acceptance_count)]
@@ -302,6 +310,19 @@ class ExplorationTimeout(DeadlineExceeded):
 
     def __init__(self, deadline: float):
         super().__init__("exploration deadline exceeded", deadline)
+
+
+class SearchInvariantError(RuntimeError):
+    """A lasso-search reachability invariant was violated.
+
+    This signals a bug (or an inconsistent :class:`ImplicitGBA`
+    implementation whose ``post``/``edges_from`` views disagree), not
+    an input condition -- for a consistent automaton, an accepting SCC
+    found by the reachable-SCC sweep is reachable by construction.
+    Raised instead of ``assert`` so the check survives ``python -O``:
+    a silent ``None`` here would flow into path extension and corrupt
+    the extracted witness word.
+    """
 
 
 def is_empty(auto: ImplicitGBA, **kwargs) -> bool:
@@ -431,7 +452,9 @@ def find_accepting_lasso(auto: GBA,
 
     stem, entry = _bfs_path(auto, auto.initial_states(),
                             lambda q: q in target_scc, within=None)
-    assert entry is not None, "accepting SCC must be reachable"
+    if entry is None:
+        raise SearchInvariantError(
+            "accepting SCC unreachable from the initial states")
 
     period: list[Symbol] = []
     current = entry
@@ -441,11 +464,16 @@ def find_accepting_lasso(auto: GBA,
         segment, current = _bfs_path(
             auto, [current], lambda q, jj=j: jj in auto.accepting_sets_of(q),
             within=target_scc)
-        assert current is not None
+        if current is None:
+            raise SearchInvariantError(
+                f"no state of acceptance set {j} reachable inside the "
+                f"accepting SCC")
         period.extend(segment)
     closing, back = _bfs_path(auto, [current], lambda q: q == entry,
                               within=target_scc, require_step=not period)
-    assert back is not None
+    if back is None:
+        raise SearchInvariantError(
+            "could not close the period cycle back to the SCC entry")
     period.extend(closing)
     return UPWord(tuple(stem), tuple(period))
 

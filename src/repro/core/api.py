@@ -29,6 +29,7 @@ def prove_termination(program: Program,
                       config: AnalysisConfig | None = None,
                       collector: StatsCollector | None = None,
                       checkpoint=None,
+                      library=None,
                       ) -> TerminationResult:
     """Run the termination analysis on a parsed program.
 
@@ -44,10 +45,24 @@ def prove_termination(program: Program,
     and a valid existing checkpoint warm-starts the run (every restored
     certificate is re-validated first -- see the trust model in
     :mod:`repro.core.checkpoint`).
+
+    ``library`` (a :class:`repro.core.library.ModuleLibrary` or a path
+    to one, optional; ``config.module_library`` is the fallback) makes
+    certified modules flow *across* programs: each counterexample
+    queries the library before synthesis and every freshly certified
+    module is published back.  Same trust model as checkpoints -- every
+    reused module is re-validated, so the library never changes a
+    verdict, only the work it costs.
     """
     config = config or AnalysisConfig()
+    if library is None:
+        library = config.module_library
+    if library is not None and not hasattr(library, "match"):
+        from repro.core.library import ModuleLibrary
+        library = ModuleLibrary(library)
     cfg = build_cfg(program)
-    engine = RefinementEngine(cfg, config, collector, checkpoint=checkpoint)
+    engine = RefinementEngine(cfg, config, collector, checkpoint=checkpoint,
+                              library=library)
     plan = faults.resolve_plan(config.fault_plan)
     if plan is not None:
         with faults.use_plan(plan):
@@ -63,10 +78,11 @@ def prove_termination_source(source: str,
                              config: AnalysisConfig | None = None,
                              collector: StatsCollector | None = None,
                              checkpoint=None,
+                             library=None,
                              ) -> TerminationResult:
     """Parse source text and run the termination analysis."""
     return prove_termination(parse_program(source), config, collector,
-                             checkpoint=checkpoint)
+                             checkpoint=checkpoint, library=library)
 
 
 #: The default portfolio: the paper-faithful multi-stage configuration,
@@ -86,6 +102,7 @@ def prove_termination_portfolio(program: Program,
                                 parallel: bool = False,
                                 workers: int | None = None,
                                 checkpoint_dir: str | None = None,
+                                module_library: str | None = None,
                                 ) -> TerminationResult:
     """Run configurations until one produces a verdict.
 
@@ -113,6 +130,11 @@ def prove_termination_portfolio(program: Program,
     checkpoints under its own (program, config, code-version) key, so
     an attempt cut short by the budget leaves its certified rounds on
     disk and a later invocation of the same portfolio warm-starts them.
+
+    ``module_library`` (a path) attaches the cross-program certified-
+    module library to every attempt: sequentially the attempts share
+    one handle (so config B reuses what config A certified in the same
+    portfolio run); racing, each worker opens the shared file itself.
     """
     if not configs:
         raise ValueError("the portfolio needs at least one configuration")
@@ -120,7 +142,12 @@ def prove_termination_portfolio(program: Program,
         from repro.runner.race import race_portfolio
         return race_portfolio(program, configs, timeout=timeout,
                               workers=workers,
-                              checkpoint_dir=checkpoint_dir)
+                              checkpoint_dir=checkpoint_dir,
+                              module_library=module_library)
+    library = None
+    if module_library is not None:
+        from repro.core.library import ModuleLibrary
+        library = ModuleLibrary(module_library)
     start = time.perf_counter()
     attempts: list[AnalysisStats] = []
     result: TerminationResult | None = None
@@ -145,7 +172,7 @@ def prove_termination_portfolio(program: Program,
                 job_key(name, str(program), configs[index].to_dict()),
                 program=name)
         result = prove_termination(program, config, collector,
-                                   checkpoint=checkpoint)
+                                   checkpoint=checkpoint, library=library)
         attempts.append(result.stats)
         if result.verdict is not Verdict.UNKNOWN:
             break

@@ -39,224 +39,44 @@ from __future__ import annotations
 
 import json
 import os
-from fractions import Fraction
 from typing import Iterable
 
 import repro.faults as _faults
-from repro.automata.gba import GBA
-from repro.automata.words import UPWord
 from repro.core.budget import use_budget
+# The portable-dict serialization lives in the shared module codec
+# (also used by the cross-program library, repro.core.library); the
+# re-exports keep this module the stable import surface for
+# checkpoint-layer users.
+from repro.core.codec import (  # noqa: F401 - re-exported codec surface
+    CodecError,
+    atom_from_dict,
+    atom_to_dict,
+    conj_from_dict,
+    conj_to_dict,
+    frac_from_dict,
+    frac_to_dict,
+    gba_from_dict,
+    gba_to_dict,
+    module_from_dict,
+    module_to_dict,
+    pred_from_dict,
+    pred_to_dict,
+    symbol_table,
+    term_from_dict,
+    term_to_dict,
+    word_from_dict,
+    word_to_dict,
+)
 from repro.core.module import CertifiedModule, validate_module
-from repro.logic.atoms import Atom, Rel
-from repro.logic.linconj import LinConj
-from repro.logic.predicates import Pred
-from repro.logic.terms import LinTerm
 from repro.obs import metrics as _metrics
 
 #: Bump on any incompatible change to the checkpoint layout; a version
 #: mismatch rejects the checkpoint (cold start) instead of guessing.
 CHECKPOINT_VERSION = 1
 
-
-class CheckpointError(ValueError):
-    """A checkpoint failed decoding or validation (reason in ``str``)."""
-
-
-# -- portable-dict serialization of the logic substrate ------------------------
-#
-# Everything below is JSON-ready: Fractions become [numerator,
-# denominator] pairs, terms/atoms/conjunctions/predicates nest as plain
-# dicts and lists.  Deserializers validate shapes strictly and raise
-# CheckpointError -- a checkpoint is untrusted input, so "almost the
-# right shape" must reject, not half-load.
-
-def frac_to_dict(value: Fraction) -> list:
-    return [value.numerator, value.denominator]
-
-
-def frac_from_dict(data) -> Fraction:
-    if (not isinstance(data, (list, tuple)) or len(data) != 2
-            or not all(isinstance(x, int) for x in data)):
-        raise CheckpointError(f"malformed fraction: {data!r}")
-    if data[1] == 0:
-        raise CheckpointError("fraction with zero denominator")
-    return Fraction(data[0], data[1])
-
-
-def term_to_dict(term: LinTerm) -> dict:
-    return {"coeffs": {name: frac_to_dict(c)
-                       for name, c in term.coeffs.items()},
-            "constant": frac_to_dict(term.constant)}
-
-
-def term_from_dict(data) -> LinTerm:
-    if not isinstance(data, dict):
-        raise CheckpointError(f"malformed term: {data!r}")
-    coeffs = data.get("coeffs", {})
-    if not isinstance(coeffs, dict):
-        raise CheckpointError(f"malformed term coefficients: {coeffs!r}")
-    return LinTerm({str(name): frac_from_dict(c)
-                    for name, c in coeffs.items()},
-                   frac_from_dict(data.get("constant", [0, 1])))
-
-
-def atom_to_dict(atom: Atom) -> dict:
-    return {"rel": atom.rel.value, "term": term_to_dict(atom.term)}
-
-
-def atom_from_dict(data) -> Atom:
-    if not isinstance(data, dict):
-        raise CheckpointError(f"malformed atom: {data!r}")
-    try:
-        rel = Rel(data.get("rel"))
-    except ValueError as exc:
-        raise CheckpointError(f"unknown atom relation: {data.get('rel')!r}") from exc
-    return Atom(term_from_dict(data.get("term")), rel)
-
-
-def conj_to_dict(conj: LinConj) -> list:
-    return [atom_to_dict(a) for a in conj.atoms]
-
-
-def conj_from_dict(data) -> LinConj:
-    if not isinstance(data, list):
-        raise CheckpointError(f"malformed conjunction: {data!r}")
-    return LinConj(atom_from_dict(a) for a in data)
-
-
-def pred_to_dict(pred: Pred) -> dict:
-    return {"inf": [conj_to_dict(d) for d in pred.inf_disjuncts],
-            "fin": [conj_to_dict(d) for d in pred.fin_disjuncts]}
-
-
-def pred_from_dict(data) -> Pred:
-    if not isinstance(data, dict):
-        raise CheckpointError(f"malformed predicate: {data!r}")
-    try:
-        return Pred(tuple(conj_from_dict(d) for d in data.get("inf", [])),
-                    tuple(conj_from_dict(d) for d in data.get("fin", [])))
-    except ValueError as exc:  # e.g. oldrnk constrained in the oo case
-        raise CheckpointError(f"invalid predicate: {exc}") from exc
-
-
-# -- symbols and automata -------------------------------------------------------
-#
-# Module automata are labelled by program statements (the program GBA's
-# alphabet), which are not JSON values.  A checkpoint therefore carries
-# a *symbol table* -- str(symbol) over the sorted alphabet -- and every
-# transition/word references symbols by table index.  On restore the
-# table is re-derived from the freshly parsed program's alphabet and
-# must match exactly; a program whose statements do not stringify
-# uniquely (never the case for the mini-language) cannot be
-# checkpointed at all.
-
-def symbol_table(alphabet: Iterable) -> tuple[list, dict] | None:
-    """``(ordered symbols, str(symbol) -> index)``; None if ambiguous."""
-    ordered = sorted(alphabet, key=str)
-    index = {str(sym): i for i, sym in enumerate(ordered)}
-    if len(index) != len(ordered):
-        return None
-    return ordered, index
-
-
-def gba_to_dict(automaton: GBA, sym_index: dict) -> dict:
-    ordered = sorted(automaton.states, key=lambda s: (str(type(s)), str(s)))
-    state_id = {state: i for i, state in enumerate(ordered)}
-    transitions = sorted(
-        [state_id[src], sym_index[str(sym)],
-         sorted(state_id[t] for t in targets)]
-        for (src, sym), targets in automaton.transitions.items())
-    return {"states": len(ordered),
-            "initial": sorted(state_id[q] for q in automaton.initial_states()),
-            "acc": [sorted(state_id[q] for q in f)
-                    for f in automaton.acc_sets],
-            "transitions": transitions}
-
-
-def gba_from_dict(data, symbols: list) -> GBA:
-    if not isinstance(data, dict):
-        raise CheckpointError(f"malformed automaton: {data!r}")
-    n = data.get("states")
-    if not isinstance(n, int) or n < 0:
-        raise CheckpointError(f"malformed state count: {n!r}")
-
-    def state(i) -> int:
-        if not isinstance(i, int) or not 0 <= i < n:
-            raise CheckpointError(f"state id out of range: {i!r}")
-        return i
-
-    transitions: dict[tuple, list] = {}
-    for entry in data.get("transitions", ()):
-        if not isinstance(entry, list) or len(entry) != 3:
-            raise CheckpointError(f"malformed transition: {entry!r}")
-        src, sym_id, targets = entry
-        if not isinstance(sym_id, int) or not 0 <= sym_id < len(symbols):
-            raise CheckpointError(f"symbol id out of range: {sym_id!r}")
-        transitions[(state(src), symbols[sym_id])] = \
-            [state(t) for t in targets]
-    return GBA(alphabet=symbols, transitions=transitions,
-               initial=[state(q) for q in data.get("initial", ())],
-               acc_sets=[[state(q) for q in f]
-                         for f in data.get("acc", ())],
-               states=range(n))
-
-
-def word_to_dict(word: UPWord, sym_index: dict) -> dict:
-    return {"prefix": [sym_index[str(s)] for s in word.prefix],
-            "period": [sym_index[str(s)] for s in word.period]}
-
-
-def word_from_dict(data, symbols: list) -> UPWord:
-    if not isinstance(data, dict):
-        raise CheckpointError(f"malformed word: {data!r}")
-
-    def sym(i):
-        if not isinstance(i, int) or not 0 <= i < len(symbols):
-            raise CheckpointError(f"word symbol id out of range: {i!r}")
-        return symbols[i]
-
-    try:
-        return UPWord(tuple(sym(i) for i in data.get("prefix", ())),
-                      tuple(sym(i) for i in data.get("period", ())))
-    except ValueError as exc:  # empty period
-        raise CheckpointError(f"invalid word: {exc}") from exc
-
-
-def module_to_dict(module: CertifiedModule, sym_index: dict) -> dict:
-    ordered = sorted(module.automaton.states,
-                     key=lambda s: (str(type(s)), str(s)))
-    state_id = {state: i for i, state in enumerate(ordered)}
-    return {"stage": module.stage,
-            "automaton": gba_to_dict(module.automaton, sym_index),
-            "ranking": term_to_dict(module.ranking),
-            "certificate": {str(state_id[q]): pred_to_dict(pred)
-                            for q, pred in module.certificate.items()
-                            if q in state_id},
-            "source_word": (word_to_dict(module.source_word, sym_index)
-                            if module.source_word is not None else None)}
-
-
-def module_from_dict(data, symbols: list) -> CertifiedModule:
-    if not isinstance(data, dict):
-        raise CheckpointError(f"malformed module: {data!r}")
-    automaton = gba_from_dict(data.get("automaton"), symbols)
-    certificate_data = data.get("certificate")
-    if not isinstance(certificate_data, dict):
-        raise CheckpointError("module without a certificate")
-    certificate = {}
-    for key, pred in certificate_data.items():
-        try:
-            state = int(key)
-        except (TypeError, ValueError) as exc:
-            raise CheckpointError(f"malformed certificate key: {key!r}") from exc
-        certificate[state] = pred_from_dict(pred)
-    word = data.get("source_word")
-    return CertifiedModule(
-        automaton=automaton,
-        ranking=term_from_dict(data.get("ranking")),
-        certificate=certificate,
-        stage=str(data.get("stage", "lasso")),
-        source_word=word_from_dict(word, symbols) if word is not None else None)
+#: A checkpoint failing to decode is the codec's error; the historical
+#: name stays importable for checkpoint-layer callers and tests.
+CheckpointError = CodecError
 
 
 # -- the checkpoint file --------------------------------------------------------

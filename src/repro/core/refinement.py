@@ -125,7 +125,8 @@ class RefinementEngine:
     def __init__(self, cfg: ControlFlowGraph,
                  config: AnalysisConfig | None = None,
                  collector: StatsCollector | None = None,
-                 checkpoint=None):
+                 checkpoint=None,
+                 library=None):
         self._cfg = cfg
         self._config = config or AnalysisConfig()
         self._collector = collector or StatsCollector()
@@ -133,6 +134,11 @@ class RefinementEngine:
         #: certified decomposition is persisted after every round and
         #: re-validated modules seed the run before the first one.
         self._checkpoint = checkpoint
+        #: Optional :class:`repro.core.library.ModuleLibrary`: each
+        #: fresh counterexample queries it before synthesis (a
+        #: validated hit is subtracted with zero LP work) and every
+        #: newly certified module is published back for other jobs.
+        self._library = library
 
     def run(self) -> TerminationResult:
         tracer = get_tracer()
@@ -167,11 +173,20 @@ class RefinementEngine:
         current = program_gba
         modules: list[CertifiedModule] = []
         round_start = time.perf_counter()
+        library = self._library
+        # Deltas, not absolutes: one ModuleLibrary handle may serve
+        # several runs (a sequential portfolio shares its index cache),
+        # so each run's stats report only its own traffic.
+        library_base = ((library.hits, library.misses)
+                        if library is not None else (0, 0))
 
         def finish(verdict: Verdict, *, witness=None, word=None,
                    reason: str | None = None) -> TerminationResult:
             stats = collector.finish(self._cfg.name, config.describe(), reason)
             stats.metrics = registry.snapshot()
+            if library is not None:
+                stats.library_hits = library.hits - library_base[0]
+                stats.library_misses = library.misses - library_base[1]
             result = TerminationResult(verdict, modules, witness, word,
                                        stats, reason)
             if verdict is Verdict.TERMINATING:
@@ -310,6 +325,54 @@ class RefinementEngine:
                     return finish(Verdict.TERMINATING)
                 round_span.set(word=str(word))
 
+                if library is not None:
+                    # Reuse before synthesis: a published module that
+                    # accepts this counterexample and survives the
+                    # Definition 3.1 re-check is subtracted with zero
+                    # prover/LP work.  The library is advisory -- any
+                    # failure below just falls through to synthesis.
+                    hit: CertifiedModule | None = None
+                    try:
+                        with tracer.span("library-lookup") as lib_span:
+                            hit = library.match(word, alphabet)
+                            lib_span.set(hit=hit is not None)
+                    except Exception as exc:  # noqa: BLE001 - advisory layer
+                        note("library.error", "library",
+                             f"{type(exc).__name__}: {exc}", index)
+                        hit = None
+                    if hit is not None:
+                        round_stats = RefinementRound(
+                            word=str(word), proof_kind="library",
+                            stage=hit.stage,
+                            module_states=len(hit.automaton.states))
+                        round_span.set(library=True, stage=hit.stage)
+                        try:
+                            result = subtract(current, hit)
+                        except DeadlineExceeded:
+                            record(round_stats)
+                            return finish(Verdict.UNKNOWN, reason="timeout")
+                        except ResourceExhausted as exc:
+                            # A reused module blowing a cap is a miss in
+                            # disguise: synthesize fresh, which can walk
+                            # the degradation ladder stage by stage.
+                            note("library.degraded", "library",
+                                 f"reused {hit.stage} module blew "
+                                 f"{exc.resource}; synthesizing fresh",
+                                 index)
+                            hit = None
+                    if hit is not None:
+                        if result.kind in (ComplementKind.SDBA_ORIGINAL,
+                                           ComplementKind.SDBA_LAZY):
+                            collector.observe_sdba(hit.automaton)
+                        collector.observe_difference(round_stats, result)
+                        current = result.automaton
+                        record(round_stats)
+                        modules.append(hit)
+                        save_checkpoint()
+                        if not current.initial_states():
+                            return finish(Verdict.TERMINATING)
+                        continue
+
                 lasso = Lasso.from_word(word)
                 try:
                     with tracer.span("prove-lasso") as proof_span:
@@ -427,6 +490,8 @@ class RefinementEngine:
                         extra = None
                     if extra is not None:
                         modules.append(companion)
+                        if library is not None:
+                            library.publish(companion, program=self._cfg.name)
                         collector.stats.modules_by_stage[companion.stage] += 1
                         # Fold the companion subtraction into the round's
                         # counters: it is real effort of this round, and the
@@ -437,6 +502,11 @@ class RefinementEngine:
                         current = extra.automaton
                 record(round_stats)
                 modules.append(module)
+                if library is not None:
+                    # Publish only freshly certified modules: library
+                    # hits are already in the file, restored checkpoint
+                    # modules were published by the run that earned them.
+                    library.publish(module, program=self._cfg.name)
                 save_checkpoint()
                 if not current.initial_states():
                     return finish(Verdict.TERMINATING)

@@ -91,6 +91,11 @@ class AnalysisStats:
     #: (see :mod:`repro.core.checkpoint`); ``iterations`` counts only
     #: the rounds this run actually performed.
     restored_rounds: int = 0
+    #: Module-library traffic (see :mod:`repro.core.library`): rounds
+    #: answered by a reused certified module vs. counterexamples no
+    #: entry could answer.  Both zero when no library is attached.
+    library_hits: int = 0
+    library_misses: int = 0
     #: Snapshot of the run's metrics registry (see :mod:`repro.obs.metrics`):
     #: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
     metrics: dict = field(default_factory=dict)
@@ -129,6 +134,8 @@ class AnalysisStats:
             "peak_difference_states": self.peak_difference_states,
             "gave_up_reason": self.gave_up_reason,
             "restored_rounds": self.restored_rounds,
+            "library_hits": self.library_hits,
+            "library_misses": self.library_misses,
             "modules_by_stage": dict(self.modules_by_stage),
             "rounds": [asdict(r) for r in self.rounds],
             "metrics": self.metrics,
@@ -144,6 +151,8 @@ class AnalysisStats:
                     peak_difference_states=data.get("peak_difference_states", 0),
                     gave_up_reason=data.get("gave_up_reason"),
                     restored_rounds=data.get("restored_rounds", 0),
+                    library_hits=data.get("library_hits", 0),
+                    library_misses=data.get("library_misses", 0),
                     metrics=data.get("metrics", {}))
         stats.rounds = [RefinementRound(**r) for r in data.get("rounds", ())]
         stats.modules_by_stage = Counter(data.get("modules_by_stage", {}))

@@ -52,6 +52,7 @@ SITES = (
     "difference",          # difference-pipeline entry
     "worker",              # runner task entry (crash = killed worker)
     "checkpoint.write",    # durable checkpoint save (torn/partial write)
+    "library.publish",     # module-library append (tampered entry)
 )
 
 

@@ -51,6 +51,10 @@ EVENT_TYPES = frozenset({
     "checkpoint.saved",     # a job durably saved >= 1 refinement round
     "checkpoint.restored",  # a job warm-started from a checkpoint
     "checkpoint.rejected",  # a checkpoint failed re-validation (cold start)
+    "library.hit",        # >= 1 counterexample answered by a reused module
+    "library.miss",       # >= 1 counterexample no library entry answered
+    "library.published",  # a job published >= 1 certified module
+    "library.rejected",   # >= 1 library entry failed re-validation
 })
 
 #: Terminal event types -- exactly one per job execution that ends.

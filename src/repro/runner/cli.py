@@ -74,6 +74,12 @@ def bench_main(argv: list[str] | None = None) -> int:
                         help="durable per-job refinement checkpoints: a "
                              "killed run resumes from its certified rounds "
                              "(see README 'Resuming a killed analysis')")
+    parser.add_argument("--module-library", metavar="PATH", default=None,
+                        help="shared cross-program certified-module library "
+                             "(append-only JSONL): workers reuse published "
+                             "modules before synthesizing and publish what "
+                             "they certify (see README 'Warm-starting a "
+                             "corpus from a module library')")
     parser.add_argument("--max-rss", type=float, default=None, metavar="MB",
                         help="memory-pressure watchdog: SIGKILL any worker "
                              "whose resident set exceeds this many MB and "
@@ -162,7 +168,8 @@ def bench_main(argv: list[str] | None = None) -> int:
                              pool=pool, on_row=on_row,
                              fail_fast=args.fail_fast,
                              trace_dir=args.trace_dir,
-                             checkpoint_dir=args.checkpoint_dir)
+                             checkpoint_dir=args.checkpoint_dir,
+                             module_library=args.module_library)
     finally:
         telemetry.close()
 
@@ -219,6 +226,10 @@ def race_main(argv: list[str] | None = None) -> int:
                         help="durable per-attempt refinement checkpoints: "
                              "losers' certified rounds survive the race and "
                              "warm-start later attempts")
+    parser.add_argument("--module-library", metavar="PATH", default=None,
+                        help="shared cross-program certified-module library "
+                             "(append-only JSONL); attempts reuse and "
+                             "publish certified modules through it")
     parser.add_argument("--events", metavar="FILE", default=None,
                         help="write the fleet telemetry event log "
                              "(heartbeats + attempt lifecycle) as JSONL")
@@ -258,7 +269,8 @@ def race_main(argv: list[str] | None = None) -> int:
         result = race_portfolio(program, configs, timeout=args.timeout,
                                 workers=args.workers, pool=pool,
                                 telemetry=telemetry,
-                                checkpoint_dir=args.checkpoint_dir)
+                                checkpoint_dir=args.checkpoint_dir,
+                                module_library=args.module_library)
     finally:
         telemetry.close()
 

@@ -232,6 +232,7 @@ def run_corpus(manifest: dict,
                fail_fast: bool = False,
                trace_dir: str | Path | None = None,
                checkpoint_dir: str | Path | None = None,
+               module_library: str | Path | None = None,
                ) -> CorpusRun:
     """Evaluate a manifest, streaming rows into the JSONL store.
 
@@ -251,9 +252,14 @@ def run_corpus(manifest: dict,
     every worker durably checkpoints its refinement rounds there keyed
     by the job key, and checkpoint activity is surfaced as
     ``checkpoint.saved`` / ``checkpoint.restored`` /
-    ``checkpoint.rejected`` telemetry events.  Returns the run
-    summary; ``summary.rows`` holds **all** rows of the matrix, reused
-    and new alike, for reporting.
+    ``checkpoint.rejected`` telemetry events.  With
+    ``module_library``, every worker shares one cross-program
+    certified-module library file (:mod:`repro.core.library`) --
+    reuse before synthesis, publish after certification -- and
+    library traffic is surfaced as ``library.hit`` / ``library.miss``
+    / ``library.published`` / ``library.rejected`` telemetry events.
+    Returns the run summary; ``summary.rows`` holds **all** rows of
+    the matrix, reused and new alike, for reporting.
     """
     start = time.perf_counter()
     jobs = expand_manifest(manifest, task_timeout=task_timeout)
@@ -302,6 +308,24 @@ def run_corpus(manifest: dict,
                     pool.telemetry.emit("checkpoint.rejected", key=key,
                                         reason=summary["rejected"],
                                         path=summary.get("path"))
+                # Same pattern for the module library: the worker-side
+                # counters ride the row, the parent turns them into
+                # fleet events.
+                library_summary = row.get("library") or {}
+                if library_summary.get("hits"):
+                    pool.telemetry.emit("library.hit", key=key,
+                                        count=library_summary["hits"])
+                if library_summary.get("misses"):
+                    pool.telemetry.emit("library.miss", key=key,
+                                        count=library_summary["misses"])
+                if library_summary.get("published"):
+                    pool.telemetry.emit("library.published", key=key,
+                                        count=library_summary["published"])
+                if library_summary.get("rejected"):
+                    pool.telemetry.emit(
+                        "library.rejected", key=key,
+                        count=library_summary["rejected"],
+                        reasons=library_summary.get("rejections"))
             if on_row is not None:
                 on_row(row)
             if fail_fast and row.get("status") == "error":
@@ -315,6 +339,12 @@ def run_corpus(manifest: dict,
         if checkpoint_dir is not None:
             for payload in payloads:
                 payload["checkpoint_dir"] = str(checkpoint_dir)
+        if module_library is not None:
+            # Injected after job-key computation, like trace_dir and
+            # checkpoint_dir: attaching a library must not change keys
+            # or resume semantics -- it is an optimization, not an input.
+            for payload in payloads:
+                payload["module_library"] = str(module_library)
         pool.run(payloads, on_outcome=on_outcome)
 
     rows = [rows_by_key[job.key] for job in jobs if job.key in rows_by_key]

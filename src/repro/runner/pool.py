@@ -113,6 +113,12 @@ def analysis_task(payload: dict) -> dict:
     store key) persists the certified decomposition after every round
     and warm-starts from a valid existing checkpoint.  The result row
     carries the checkpoint counters under ``row["checkpoint"]``.
+
+    With ``module_library`` set (a path), the analysis queries the
+    shared cross-program certified-module library before each
+    synthesis and publishes what it certifies
+    (:mod:`repro.core.library`); the result row carries the library
+    counters under ``row["library"]``.
     """
     t0 = time.perf_counter()
     name = payload.get("name", "<anonymous>")
@@ -137,6 +143,10 @@ def analysis_task(payload: dict) -> dict:
             str(checkpoint_dir),
             str(payload.get("checkpoint_key") or payload.get("key") or name),
             program=name)
+    library = None
+    if payload.get("module_library"):
+        from repro.core.library import ModuleLibrary
+        library = ModuleLibrary(str(payload["module_library"]))
     try:
         config = AnalysisConfig.from_dict(payload.get("config") or {})
         budget = payload.get("timeout")
@@ -152,11 +162,13 @@ def analysis_task(payload: dict) -> dict:
             from repro.obs.trace import use_tracer
             with use_tracer(tracer):
                 result = prove_termination(program, config,
-                                           checkpoint=checkpoint)
+                                           checkpoint=checkpoint,
+                                           library=library)
             tracer.record_metrics(result.stats.metrics)
         else:
             result = prove_termination(program, config,
-                                       checkpoint=checkpoint)
+                                       checkpoint=checkpoint,
+                                       library=library)
     except ParseError as err:
         row = base_row()
         row.update(config=payload.get("config_name", ""), status="error",
@@ -184,6 +196,8 @@ def analysis_task(payload: dict) -> dict:
     )
     if checkpoint is not None:
         row["checkpoint"] = checkpoint.summary()
+    if library is not None:
+        row["library"] = library.summary()
     if payload.get("want_result"):
         if payload.get("_same_process"):
             # In-process pools share the heap: hand the live result

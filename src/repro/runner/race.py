@@ -99,6 +99,7 @@ def race_portfolio(program,
                    names: Sequence[str] | None = None,
                    telemetry=None,
                    checkpoint_dir: str | None = None,
+                   module_library: str | None = None,
                    ) -> TerminationResult:
     """Race ``configs`` on ``program``; the portfolio's parallel mode.
 
@@ -127,6 +128,12 @@ def race_portfolio(program,
     config, code version).  A losing attempt SIGKILLed mid-round leaves
     its certified modules on disk, so re-racing the same portfolio (or
     running that configuration alone later) warm-starts from them.
+
+    ``module_library`` (a path) points every attempt at the shared
+    cross-program certified-module library
+    (:mod:`repro.core.library`): attempts reuse published modules
+    before synthesizing and publish what they certify -- including
+    across the racing configs, since they share the file.
     """
     configs = list(configs)
     if not configs:
@@ -157,6 +164,8 @@ def race_portfolio(program,
                 payload["name"],
                 program if isinstance(program, str) else str(program),
                 config.to_dict())
+        if module_library is not None:
+            payload["module_library"] = str(module_library)
         payloads.append(payload)
     if pool is None:
         n_workers = (workers if workers is not None

@@ -35,6 +35,11 @@ EFFORT_COUNTERS = (
     "complement.modular.components.weak",
     "complement.modular.components.det",
     "complement.modular.components.rank",
+    "library.hits",
+    "library.misses",
+    "library.published",
+    "library.rejected",
+    "library.publish_failures",
 )
 
 _EFFORT_SET = frozenset(EFFORT_COUNTERS)
@@ -178,7 +183,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro report",
         description="Aggregate a corpus result store (Table 3 style).",
         epilog="exit codes: 0 = all rows conclusive, 2 = unknown/timeout/"
-               "oom rows, 3 = error/quarantined rows or an empty store")
+               "oom/cancelled rows, 3 = error/quarantined rows or an "
+               "empty store")
     parser.add_argument("store", help="results JSONL written by `repro bench`")
     parser.add_argument("--json", action="store_true",
                         help="emit the aggregate as JSON")
@@ -205,7 +211,11 @@ def main(argv: list[str] | None = None) -> int:
         sys.stderr.close()
     if any(a.error or a.quarantined for a in aggs.values()):
         return 3
-    if any(a.unknown or a.timeout or a.oom for a in aggs.values()):
+    # Cancelled rows (e.g. `repro race` losers) are inconclusive too:
+    # no verdict was produced for them, so a cancelled-only store must
+    # not exit 0 ("all rows conclusive").
+    if any(a.unknown or a.timeout or a.oom or a.cancelled
+           for a in aggs.values()):
         return 2
     return 0
 

@@ -201,3 +201,54 @@ def test_worker_site_faults_become_error_rows(tmp_path):
     summary = run_corpus(manifest, tmp_path / "results.jsonl", pool=pool)
     assert summary.errors == 2
     assert all(row.get("status") == "error" for row in summary.rows)
+
+
+#: Seeded plans aimed at the module-library publish path: every publish
+#: replaces the honest entry with a plausibly-corrupted one.
+LIBRARY_PLANS = [
+    pytest.param(FaultPlan(seed=seed, crash_rate=1.0,
+                           sites=("library.publish",)),
+                 id=f"lib-seed{seed}")
+    for seed in range(3)
+]
+
+
+@pytest.mark.parametrize("plan", LIBRARY_PLANS)
+def test_tampered_library_entries_are_rejected_not_trusted(plan, tmp_path):
+    """A poisoned module library costs work, never soundness.
+
+    The first run publishes under the fault, so only tampered entries
+    (certificates silently missing one state's predicate) reach the
+    shared file.  The second run's queries find candidates that decode
+    and accept the counterexample word -- the Definition 3.1 re-check
+    must reject every one and fall back to synthesis, with the correct
+    verdict both times and zero library hits.
+    """
+    from repro.core.library import ModuleLibrary
+
+    for index, (source, expected, forbidden) in enumerate(PROGRAMS):
+        path = tmp_path / f"lib{index}.jsonl"
+        config = AnalysisConfig(timeout=TIMEOUT)
+        for attempt in range(2):
+            library = ModuleLibrary(path)
+            with faults.use_plan(plan):
+                try:
+                    result = prove_termination_source(
+                        source, config, library=library)
+                    outcome = result.verdict.value
+                except ReproError:
+                    outcome = "error"
+                injected = faults.injected_counts()
+            assert outcome != forbidden, \
+                f"unsound verdict {outcome!r} under {plan!r}"
+            assert outcome in (expected, "unknown", "error")
+            assert library.hits == 0  # nothing tampered was ever reused
+            if attempt == 0 and outcome == expected == "terminating":
+                # the fault actually fired on every publish attempt
+                assert injected.get("library.publish", {}) \
+                               .get("crash", 0) >= 1
+                assert library.published == 0
+                assert library.publish_failures >= 1
+            if attempt == 1 and path.exists() and outcome == "terminating":
+                assert library.rejected >= 1, \
+                    "tampered entries must be rejected, not ignored"

@@ -201,3 +201,38 @@ def test_oracle_non_macro_states_fall_back_to_exact():
     oracle.add(("qa", "plain-state"))
     assert oracle.contains(("qa", "plain-state"))
     assert not oracle.contains(("qa", "other"))
+
+
+def test_blown_state_limit_still_registers_partial_effort():
+    """Regression: a difference aborted by ``state_limit`` used to
+    skip counter registration entirely, so a corpus whose every round
+    degraded reported ``difference.explored_states == 0`` -- partial
+    exploration must always be accounted."""
+    from repro.core.budget import ResourceExhausted
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    minuend = random_ba(1, n=5)
+    subtrahend = random_ba(2, n=4)
+    with use_registry(MetricsRegistry()) as registry:
+        with pytest.raises(ResourceExhausted) as err:
+            difference(minuend, subtrahend, state_limit=1)
+        counters = registry.snapshot()["counters"]
+    assert err.value.resource == "difference-states"
+    assert counters.get("difference.explored_states", 0) >= 1
+    assert counters.get("difference.aborted", 0) == 1
+
+
+def test_expired_deadline_still_registers_partial_effort():
+    import time
+
+    from repro.core.budget import DeadlineExceeded
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    minuend = random_ba(3, n=5)
+    subtrahend = random_ba(4, n=4)
+    with use_registry(MetricsRegistry()) as registry:
+        with pytest.raises(DeadlineExceeded):
+            difference(minuend, subtrahend,
+                       deadline=time.perf_counter() - 1.0)
+        counters = registry.snapshot()["counters"]
+    assert counters.get("difference.aborted", 0) == 1

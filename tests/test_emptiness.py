@@ -219,3 +219,48 @@ def test_fan_out_gba_completes_without_deadline():
     useful, stats = remove_useless(auto)
     assert useful.states
     assert stats.explored_edges == 2000
+
+
+# -- lasso-search invariants survive `python -O` --------------------------------
+
+
+class _InconsistentGBA(GBA):
+    """A deliberately broken ImplicitGBA: ``post`` sees the real edges
+    (so the SCC sweep finds the accepting SCC) but ``edges_from``
+    claims there are none (so path extraction cannot reach it)."""
+
+    def edges_from(self, state):
+        return ()
+
+
+def test_inconsistent_views_raise_search_invariant_error():
+    from repro.automata.emptiness import SearchInvariantError
+    auto = _InconsistentGBA(set(SIGMA),
+                            {("q0", "a"): {"q1"}, ("q1", "a"): {"q1"}},
+                            ["q0"], [["q1"]])
+    # Formerly a bare `assert`, which `python -O` strips -- the None
+    # entry state would then flow into period extension and corrupt
+    # the witness word instead of failing loudly.
+    with pytest.raises(SearchInvariantError) as err:
+        find_accepting_lasso(auto)
+    assert "unreachable" in str(err.value)
+
+
+def test_inconsistent_views_raise_on_cycle_closing():
+    from repro.automata.emptiness import SearchInvariantError
+    # The initial state *is* the accepting SCC, so the stem is empty
+    # and the failure moves to the period-closing search.
+    auto = _InconsistentGBA(set(SIGMA), {("q0", "a"): {"q0"}},
+                            ["q0"], [["q0"]])
+    with pytest.raises(SearchInvariantError) as err:
+        find_accepting_lasso(auto)
+    assert "close the period" in str(err.value)
+
+
+def test_search_invariant_error_is_not_a_verdict_path():
+    from repro.automata.emptiness import SearchInvariantError
+    from repro.core.budget import ReproError
+    # An internal bug must surface as an error row, never be caught by
+    # the budget/degradation machinery as if it were resource pressure.
+    assert not issubclass(SearchInvariantError, ReproError)
+    assert issubclass(SearchInvariantError, RuntimeError)

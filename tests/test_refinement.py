@@ -136,7 +136,8 @@ def test_portfolio_budget_flows_to_later_configs(monkeypatch):
 
     budgets = []
 
-    def fake_prove(program, config=None, collector=None, checkpoint=None):
+    def fake_prove(program, config=None, collector=None, checkpoint=None,
+                   library=None):
         budgets.append(config.timeout)
         return TerminationResult(Verdict.UNKNOWN, stats=AnalysisStats())
 

@@ -337,3 +337,48 @@ def test_report_counts_timeout_rows(tmp_path):
     agg = aggregate_rows(summary.rows)["default"]
     assert agg.timeout == 2
     assert agg.solved == 0
+
+
+def _write_status_store(path, statuses):
+    with open(path, "w", encoding="utf-8") as fh:
+        for i, status in enumerate(statuses):
+            row = {"key": f"k{i}", "name": f"p{i}", "config": "default",
+                   "status": status, "seconds": 0.1}
+            if status in ("terminating", "nonterminating"):
+                row["verdict"] = row["expected"] = status
+            fh.write(json.dumps(row) + "\n")
+
+
+def test_report_exit_code_matrix(tmp_path, capsys):
+    """Exit 0 = every row conclusive, 2 = inconclusive rows, 3 = broken
+    rows or an empty store.  Regression: ``cancelled`` rows (e.g. the
+    losers of `repro race`) carry no verdict, so a cancelled-only store
+    used to exit 0 and let CI treat a half-cancelled corpus as clean."""
+    from repro.runner.report import main as report_main
+    store = tmp_path / "rows.jsonl"
+    cases = [
+        (["terminating", "nonterminating"], 0),
+        (["terminating", "unknown"], 2),
+        (["timeout"], 2),
+        (["oom"], 2),
+        (["cancelled"], 2),                   # the bugfix
+        (["terminating", "cancelled"], 2),
+        (["terminating", "error"], 3),
+        (["quarantined"], 3),
+        (["cancelled", "error"], 3),          # broken outranks inconclusive
+    ]
+    for statuses, expected_exit in cases:
+        _write_status_store(store, statuses)
+        assert report_main([str(store)]) == expected_exit, statuses
+        capsys.readouterr()
+    store.write_text("")
+    assert report_main([str(store)]) == 3  # empty store is a broken run
+
+
+def test_report_help_epilog_documents_cancelled(capsys):
+    from repro.runner.report import main as report_main
+    with pytest.raises(SystemExit) as err:
+        report_main(["--help"])
+    assert err.value.code == 0
+    out = capsys.readouterr().out
+    assert "cancelled" in out
